@@ -1,0 +1,51 @@
+"""Ablation — GPMA (packed memory array) versus the hash structure.
+
+GPMA appears in the paper's related work (Section II-B) but not its
+measured tables.  This bench completes the landscape: PMA updates pay
+sorted-batch routing plus window rebalancing, while queries are binary
+searches over one sorted array.  Expected shape: ours wins updates; GPMA
+is competitive on point queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import bulk_built_structure, random_edge_batch
+from repro.gpusim.counters import counting
+from repro.gpusim.model import simulated_seconds
+
+BATCH = 1 << 12
+
+
+@pytest.mark.parametrize("structure", ["ours", "gpma"])
+def test_update_throughput(benchmark, dataset_cache, structure):
+    coo = dataset_cache("rgg_n_2_20_s0")
+    src, dst, _ = random_edge_batch(coo.num_vertices, BATCH, seed=6)
+
+    def setup():
+        return (bulk_built_structure(structure, coo),), {}
+
+    def op(g):
+        g.insert_edges(src, dst)
+
+    benchmark.pedantic(op, setup=setup, rounds=3)
+
+
+@pytest.mark.parametrize("structure", ["ours", "gpma"])
+def test_query_throughput(benchmark, dataset_cache, structure):
+    coo = dataset_cache("rgg_n_2_20_s0")
+    g = bulk_built_structure(structure, coo)
+    qs, qd, _ = random_edge_batch(coo.num_vertices, BATCH, seed=7)
+    benchmark(g.edge_exists, qs, qd)
+
+
+def test_gpma_update_cost_higher(dataset_cache):
+    coo = dataset_cache("rgg_n_2_20_s0")
+    src, dst, _ = random_edge_batch(coo.num_vertices, BATCH, seed=6)
+    costs = {}
+    for structure in ("ours", "gpma"):
+        g = bulk_built_structure(structure, coo)
+        with counting() as delta:
+            g.insert_edges(src, dst)
+        costs[structure] = simulated_seconds(delta)
+    assert costs["ours"] < costs["gpma"]

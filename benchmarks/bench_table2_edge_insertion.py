@@ -1,0 +1,43 @@
+"""Table II — batched edge insertion rates (MEdge/s).
+
+Wall-clock: pytest-benchmark times each structure's insert kernel on a
+fresh prebuilt graph per round.  Shape: the device-model table must show
+ours > faimGraph > Hornet at every batch size, with the ours/Hornet ratio
+shrinking as batches grow (paper: 14.8x at 2^16 down to 5.8x at 2^22).
+"""
+
+import pytest
+
+from repro.bench.tables import table2_edge_insertion
+from repro.bench.workloads import bulk_built_structure, random_edge_batch
+
+from conftest import REPRESENTATIVE, subset
+
+BATCH = 1 << 13
+
+
+@pytest.mark.parametrize("structure", ["ours", "hornet", "faimgraph"])
+def test_edge_insertion_throughput(benchmark, dataset_cache, structure):
+    coo = dataset_cache("rgg_n_2_20_s0")
+    src, dst, _ = random_edge_batch(coo.num_vertices, BATCH, seed=1)
+
+    def setup():
+        return (bulk_built_structure(structure, coo),), {}
+
+    def op(g):
+        g.insert_edges(src, dst)
+
+    benchmark.pedantic(op, setup=setup, rounds=3)
+
+
+def test_table2_shape(dataset_cache):
+    headers, rows = table2_edge_insertion(datasets=subset(dataset_cache, REPRESENTATIVE))
+    assert headers[1:] == ["Hornet", "faimGraph", "Ours"]
+    ratios = []
+    for batch_label, hornet, faim, ours in rows:
+        assert ours > hornet, batch_label
+        if faim is not None:
+            assert ours > faim > hornet, batch_label
+        ratios.append(ours / hornet)
+    # The ours/Hornet advantage shrinks as batches grow (Table II trend).
+    assert ratios[-1] < ratios[0]

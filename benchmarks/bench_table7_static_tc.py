@@ -1,0 +1,44 @@
+"""Table VII — static triangle counting time (ms).
+
+Shape: with *pre-sorted* adjacency lists (their sort priced separately in
+Table VIII), the list structures' intersections beat our hash probes on
+most datasets (paper: ours 1.1-10x slower) — the honest cost the paper
+reports for its own structure on static workloads.
+"""
+
+import pytest
+
+from repro.analytics.triangle_count import triangle_count_hash, triangle_count_sorted
+from repro.bench.tables import table7_static_triangle_counting
+from repro.bench.workloads import bulk_built_structure
+from repro.core import DynamicGraph
+
+from conftest import REPRESENTATIVE, subset
+
+
+@pytest.mark.parametrize("method", ["hash", "sorted"])
+def test_static_tc_wall_clock(benchmark, dataset_cache, method):
+    coo = dataset_cache("rgg_n_2_20_s0")
+    if method == "hash":
+        g = DynamicGraph(coo.num_vertices, weighted=False)
+        g.bulk_build(coo)
+        benchmark(triangle_count_hash, g)
+    else:
+        h = bulk_built_structure("hornet", coo)
+        row_ptr, col = h.sorted_adjacency()
+        benchmark(triangle_count_sorted, row_ptr, col)
+
+
+def test_table7_shape(dataset_cache):
+    headers, rows = table7_static_triangle_counting(
+        datasets=subset(dataset_cache, REPRESENTATIVE)
+    )
+    slower = 0
+    for name, hornet_ms, faim_ms, ours_ms, triangles in rows:
+        assert triangles >= 0
+        if ours_ms > hornet_ms:
+            slower += 1
+        # Never catastrophically slower (paper max ≈ 10x, ldoor).
+        assert ours_ms < 20 * hornet_ms, name
+    # Ours loses the static-TC comparison on most datasets, as published.
+    assert slower >= len(rows) - 1

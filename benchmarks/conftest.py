@@ -1,0 +1,45 @@
+"""Shared fixtures for the pytest-benchmark harness.
+
+Each ``bench_*`` file regenerates one paper artifact.  Wall-clock numbers
+come from pytest-benchmark; the qualitative *shape* assertions (who wins,
+where crossovers fall) are made on the calibrated device-model times, which
+is what EXPERIMENTS.md records against the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import DATASETS
+from repro.gpusim.counters import reset_counters
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    reset_counters()
+    yield
+    reset_counters()
+
+
+@pytest.fixture(scope="session")
+def dataset_cache():
+    """Generate each dataset once per benchmark session."""
+    cache: dict[str, object] = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = DATASETS[name].generate(0)
+        return cache[name]
+
+    return get
+
+
+#: A representative subset (one per family) used by per-op benchmarks so a
+#: full --benchmark-only run stays in the minutes range; the runner module
+#: covers all twelve datasets.
+REPRESENTATIVE = ["germany_osm", "delaunay_n20", "rgg_n_2_20_s0", "hollywood-2009"]
+
+
+def subset(get, names=None):
+    return {name: get(name) for name in (names or REPRESENTATIVE)}

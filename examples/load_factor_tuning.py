@@ -1,0 +1,51 @@
+"""Load-factor tuning: reproduce the Figure 2/3 trade-off on your workload.
+
+Run:  python examples/load_factor_tuning.py
+
+The load factor controls how many buckets each vertex's hash table gets
+(``buckets = ceil(degree / (lf * slab_capacity))``).  Lower values buy
+query speed with memory; higher values pack slabs full but grow chains.
+This example sweeps the load factor on an RMAT graph and prints the
+paper's three Figure 2 metrics plus the Figure 3 triangle-count time,
+showing why the paper recommends ≈ 0.7.
+"""
+
+from repro.analytics.triangle_count import triangle_count_hash
+from repro.bench.harness import time_call
+from repro.core import DynamicGraph
+from repro.datasets import rmat_graph
+
+
+def main() -> None:
+    coo = rmat_graph(scale=11, edge_factor=24, seed=1).symmetrized().deduplicated()
+    print(f"workload: {coo} (RMAT, heavy-tailed)\n")
+    header = (
+        f"{'lf':>5} {'chain':>6} {'build MEdge/s':>14} "
+        f"{'mem util':>9} {'mem KB':>8} {'TC model ms':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    best = None
+    for lf in (0.3, 0.5, 0.7, 1.0, 1.5, 2.5, 4.0):
+        g = DynamicGraph(coo.num_vertices, weighted=False, load_factor=lf)
+        build_rec, _ = time_call("build", g.bulk_build, coo, items=coo.num_edges)
+        st = g.stats()
+        tc_rec, triangles = time_call("tc", triangle_count_hash, g)
+        tc_ms = tc_rec.model_millis
+        print(
+            f"{lf:>5.1f} {st.mean_bucket_load:>6.2f} {build_rec.throughput_m:>14,.0f} "
+            f"{st.memory_utilization:>9.0%} {st.memory_bytes / 1024:>8,.0f} {tc_ms:>12.3f}"
+        )
+        if best is None or tc_ms < best[1]:
+            best = (lf, tc_ms)
+
+    print(
+        f"\nbest query performance at load factor {best[0]} "
+        f"(the paper's Figure 3 optimum is ≈ 0.7); "
+        f"memory is cheapest at the high end — pick per workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Streaming social-network analytics: the paper's motivating scenario.
+
+Run:  python examples/streaming_social_network.py
+
+A social graph ingests follower batches continuously while the analytics
+pipeline re-computes triangle counts after every batch (the Table IX
+"dynamic application" workload).  The same stream is fed to the Hornet-like
+baseline, which must re-sort adjacency lists before each count — the
+maintenance cost the hash structure avoids.  Modeled device times are
+reported next to wall-clock so the comparison matches the paper's
+accounting.
+"""
+
+import numpy as np
+
+from repro.analytics.triangle_count import dynamic_triangle_count
+from repro.baselines import HornetGraph
+from repro.core import DynamicGraph
+from repro.datasets import powerlaw_graph
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # Bootstrap: an existing social network (heavy-tailed degrees).
+    base = powerlaw_graph(3_000, mean_degree=20.0, seed=7)
+    n = base.num_vertices
+    print(f"bootstrap network: {base} (max degree {base.degree_stats()['max']})")
+
+    # A stream of follower batches: mostly preferential (hub-seeking).
+    hubs = np.argsort(np.bincount(base.src, minlength=n))[-50:]
+    batches = []
+    for _ in range(5):
+        followers = rng.integers(0, n, 2_000)
+        followees = np.where(
+            rng.random(2_000) < 0.5,
+            rng.choice(hubs, 2_000),
+            rng.integers(0, n, 2_000),
+        )
+        batches.append((followers, followees))
+
+    # Ours: hash-per-vertex graph; counts run directly on the tables.
+    ours = DynamicGraph(n, weighted=False)
+    ours.bulk_build(base)
+    ours_steps = dynamic_triangle_count(ours, batches, mode="hash")
+
+    # Hornet-like baseline: must maintain sorted adjacency per batch.
+    hornet = HornetGraph(n, weighted=False)
+    hornet.bulk_build(base)
+    hornet_steps = dynamic_triangle_count(hornet, batches, mode="sorted")
+
+    print(f"\n{'iter':>4} {'triangles':>10} | {'ours model ms':>14} | {'hornet model ms':>16}")
+    cum_o = cum_h = 0.0
+    for so, sh in zip(ours_steps, hornet_steps):
+        assert so.triangles == sh.triangles
+        cum_o += so.total_model * 1e3
+        cum_h += (sh.total_model) * 1e3
+        print(f"{so.iteration:>4} {so.triangles:>10,} | {cum_o:>14.3f} | {cum_h:>16.3f}")
+    print(
+        f"\ncumulative speedup over the sorted-list baseline: {cum_h / cum_o:.2f}x "
+        "(road-like graphs favor us more; hub-heavy graphs favor sorted intersections — Table IX)"
+    )
+
+    # Account churn: a batch of accounts is deleted (Algorithm 2).
+    doomed = rng.choice(n, size=20, replace=False)
+    removed = ours.delete_vertices(doomed)
+    print(f"\ndeleted {doomed.size} accounts -> {removed} edge slots removed")
+    assert not ours.edge_exists(doomed, np.roll(doomed, 1)).any()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment carries an older setuptools without PEP-517 wheel
+support; this file enables ``pip install -e . --no-build-isolation`` there.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of "Dynamic Graphs on the GPU" (Awad et al., 2020).
+
+The package implements the paper's hash-table-per-vertex dynamic graph data
+structure (on SlabHash) together with every substrate it depends on and the
+baselines it is evaluated against, on a simulated-GPU substrate:
+
+- :mod:`repro.core` — the dynamic graph (the paper's contribution);
+- :mod:`repro.slabhash` — the slab hash (concurrent map & set) and slab
+  allocator;
+- :mod:`repro.gpusim` — warp primitives, the WCWS reference engine, and the
+  kernel cost counters standing in for GPU hardware;
+- :mod:`repro.baselines` — Hornet-, faimGraph-, GPMA-like structures and
+  static CSR;
+- :mod:`repro.analytics` — Gunrock-lite graph algorithms (triangle
+  counting, BFS, PageRank, connected components, k-truss);
+- :mod:`repro.datasets` — synthetic generators matching the paper's Table I
+  dataset shapes;
+- :mod:`repro.bench` — the evaluation harness regenerating Tables II-IX and
+  Figures 2-3.
+
+Quickstart::
+
+    from repro import COO, DynamicGraph
+    g = DynamicGraph(num_vertices=1000, weighted=True)
+    g.insert_edges([0, 1, 2], [1, 2, 0], weights=[5, 6, 7])
+    g.edge_exists([0], [1])          # -> array([ True])
+"""
+
+from repro.coo import COO
+from repro.core import DynamicGraph
+
+__version__ = "1.0.0"
+
+__all__ = ["COO", "DynamicGraph", "__version__"]

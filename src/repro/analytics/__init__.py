@@ -1,0 +1,44 @@
+"""Gunrock-lite analytics over dynamic graph structures.
+
+The paper integrates its data structure into Gunrock and evaluates triangle
+counting; this subpackage provides the equivalent algorithm layer:
+
+- :mod:`repro.analytics.frontier` — bulk advance/filter primitives over any
+  structure exposing the batched adjacency iterator;
+- :mod:`repro.analytics.triangle_count` — static TC in both flavors
+  (hash-probe for our structure, sorted-intersection for list baselines)
+  and the dynamic insert-then-count workload of Table IX;
+- :mod:`repro.analytics.bfs`, :mod:`repro.analytics.pagerank`,
+  :mod:`repro.analytics.connected_components`,
+  :mod:`repro.analytics.ktruss` — classic primitives exercising queries,
+  iteration, and (for k-truss) in-algorithm dynamic edge deletion, the
+  truly-dynamic usage pattern the paper's introduction motivates.
+"""
+
+from repro.analytics.bfs import bfs
+from repro.analytics.connected_components import connected_components
+from repro.analytics.frontier import advance, filter_frontier
+from repro.analytics.kcore import core_numbers, kcore
+from repro.analytics.ktruss import ktruss
+from repro.analytics.pagerank import pagerank
+from repro.analytics.sssp import sssp
+from repro.analytics.triangle_count import (
+    dynamic_triangle_count,
+    triangle_count_hash,
+    triangle_count_sorted,
+)
+
+__all__ = [
+    "advance",
+    "bfs",
+    "connected_components",
+    "core_numbers",
+    "dynamic_triangle_count",
+    "filter_frontier",
+    "kcore",
+    "ktruss",
+    "pagerank",
+    "sssp",
+    "triangle_count_hash",
+    "triangle_count_sorted",
+]

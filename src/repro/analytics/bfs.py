@@ -1,0 +1,46 @@
+"""Breadth-first search over the dynamic graph's adjacency iterator.
+
+A direct Gunrock-style advance/filter loop; exercises the batched iterator
+exactly the way a framework algorithm would (read-only phase).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.frontier import advance, filter_frontier
+from repro.util.errors import ValidationError
+
+__all__ = ["bfs"]
+
+
+def bfs(graph, source: int, max_depth: int | None = None) -> np.ndarray:
+    """Hop distances from ``source``; unreachable vertices get -1.
+
+    Works on any structure with ``adjacencies``/``neighbors``; vertex-id
+    space is taken from ``vertex_capacity`` (our graph) or
+    ``num_vertices`` (baselines).
+    """
+    n = getattr(graph, "vertex_capacity", None) or getattr(graph, "num_vertices", None)
+    if n is None:
+        raise ValidationError("graph exposes neither vertex_capacity nor num_vertices")
+    source = int(source)
+    if not (0 <= source < n):
+        raise ValidationError(f"source {source} out of range [0, {n})")
+
+    dist = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    dist[source] = 0
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        if max_depth is not None and depth >= max_depth:
+            break
+        _, dsts = advance(graph, frontier)
+        frontier = filter_frontier(dsts, visited)
+        depth += 1
+        if frontier.size:
+            visited[frontier] = True
+            dist[frontier] = depth
+    return dist

@@ -1,0 +1,56 @@
+"""Frontier primitives (Gunrock's advance / filter, batched).
+
+Gunrock expresses graph algorithms as bulk operations on *frontiers* —
+arrays of active vertices.  ``advance`` expands a frontier through the
+adjacency iterator of any structure implementing ``adjacencies`` (our
+graph) or ``neighbors`` (baselines, adapted per vertex); ``filter_frontier``
+deduplicates and masks.  These two are all the traversal algorithms in
+this package need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import as_int_array
+
+__all__ = ["advance", "filter_frontier"]
+
+
+def advance(graph, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a frontier one hop.
+
+    Returns ``(sources, destinations)`` — one row per traversed edge, with
+    ``sources[i]`` the frontier vertex that generated ``destinations[i]``.
+    """
+    frontier = as_int_array(frontier, "frontier")
+    if frontier.size == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    if hasattr(graph, "adjacencies"):
+        owner_pos, dst, _ = graph.adjacencies(frontier)
+        return frontier[owner_pos], dst
+    # Baseline fallback: per-vertex neighbor queries.
+    src_parts, dst_parts = [], []
+    for v in frontier.tolist():
+        nbrs, _ = graph.neighbors(int(v))
+        if nbrs.size:
+            src_parts.append(np.full(nbrs.shape[0], v, dtype=np.int64))
+            dst_parts.append(nbrs.astype(np.int64))
+    if not src_parts:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    return np.concatenate(src_parts), np.concatenate(dst_parts)
+
+
+def filter_frontier(candidates: np.ndarray, visited: np.ndarray) -> np.ndarray:
+    """Deduplicate candidates and drop already-visited vertices.
+
+    ``visited`` is a boolean mask indexed by vertex id; the returned
+    frontier is unique and unvisited (Gunrock's filter operator).
+    """
+    candidates = as_int_array(candidates, "candidates")
+    if candidates.size == 0:
+        return candidates
+    fresh = candidates[~visited[candidates]]
+    return np.unique(fresh)

@@ -1,0 +1,53 @@
+"""Single-source shortest paths over weighted adjacency (Bellman-Ford).
+
+The frontier-relaxation formulation Gunrock uses: each round relaxes every
+edge out of the current frontier (one batched adjacency sweep) and the
+vertices whose distance improved form the next frontier.  Terminates after
+at most |V| rounds (negative weights without negative cycles are fine;
+weights come from the map variant's value lanes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = ["sssp"]
+
+
+def sssp(graph, source: int, max_rounds: int | None = None) -> np.ndarray:
+    """Shortest-path distances from ``source``; unreachable = -1.
+
+    Requires a weighted graph (``graph.weighted``); weights are read
+    through the batched adjacency iterator.
+    """
+    if not getattr(graph, "weighted", False):
+        raise ValidationError("sssp requires a weighted graph (map variant)")
+    n = graph.vertex_capacity
+    source = int(source)
+    if not (0 <= source < n):
+        raise ValidationError(f"source {source} out of range [0, {n})")
+
+    INF = np.iinfo(np.int64).max // 4
+    dist = np.full(n, INF, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    rounds = max_rounds if max_rounds is not None else n
+
+    for _ in range(rounds):
+        if frontier.size == 0:
+            break
+        owner_pos, dst, w = graph.adjacencies(frontier)
+        if dst.size == 0:
+            break
+        cand = dist[frontier[owner_pos]] + w
+        # Per-destination minimum of candidate distances this round.
+        proposed = dist.copy()
+        np.minimum.at(proposed, dst, cand)
+        improved = proposed < dist
+        dist = proposed
+        frontier = np.flatnonzero(improved)
+
+    out = np.where(dist >= INF, -1, dist)
+    return out

@@ -1,0 +1,107 @@
+"""Static Compressed Sparse Row (Section II-A background).
+
+CSR is the memory-efficient-but-frozen end of the design space the paper
+positions itself against: O(|V| + |E|) storage, adjacency lists stored
+sorted and contiguous, but any structural update requires rebuilding the
+whole thing — which :meth:`CSRGraph.rebuild_with_edges` implements
+literally so benches can price "CSR as a dynamic structure".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coo import COO
+from repro.gpusim.counters import get_counters
+from repro.util.errors import ValidationError
+from repro.util.validation import as_int_array, check_equal_length
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Immutable CSR built from a COO snapshot (deduplicated, sorted).
+
+    Parameters
+    ----------
+    coo:
+        Input edges; duplicates collapse (last weight wins) and self-loops
+        are preserved unless ``drop_self_loops``.
+    """
+
+    def __init__(self, coo: COO, drop_self_loops: bool = True) -> None:
+        work = coo.without_self_loops() if drop_self_loops else coo
+        work = work.deduplicated()
+        counters = get_counters()
+        counters.sorted_elements += work.num_edges  # build-time sort
+        self.num_vertices = work.num_vertices
+        self.row_ptr, self.col_idx, self.weights = work.to_csr()
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.col_idx.shape[0])
+
+    def degree(self, vertex_ids) -> np.ndarray:
+        vids = as_int_array(vertex_ids, "vertex_ids")
+        return (self.row_ptr[vids + 1] - self.row_ptr[vids]).astype(np.int64)
+
+    def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted destination / weight slices (views, zero-copy)."""
+        v = int(vertex)
+        if not (0 <= v < self.num_vertices):
+            raise ValidationError(f"vertex {v} out of range")
+        lo, hi = int(self.row_ptr[v]), int(self.row_ptr[v + 1])
+        return self.col_idx[lo:hi], self.weights[lo:hi]
+
+    def edge_exists(self, src, dst) -> np.ndarray:
+        """Vectorized membership via binary search in each sorted row."""
+        src = as_int_array(src, "src")
+        dst = as_int_array(dst, "dst")
+        check_equal_length(("src", src), ("dst", dst))
+        if src.size == 0:
+            return np.empty(0, dtype=bool)
+        lo = self.row_ptr[src]
+        hi = self.row_ptr[src + 1]
+        # Binary search within [lo, hi) on the global column array: offset
+        # the query into each row's span via searchsorted on the full array
+        # restricted by the row bounds.
+        pos = lo + np.array(
+            [
+                np.searchsorted(self.col_idx[l:h], d)
+                for l, h, d in zip(lo.tolist(), hi.tolist(), dst.tolist())
+            ],
+            dtype=np.int64,
+        )
+        valid = pos < hi
+        out = np.zeros(src.shape[0], dtype=bool)
+        out[valid] = self.col_idx[pos[valid]] == dst[valid]
+        return out
+
+    def export_coo(self) -> COO:
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64),
+            np.diff(self.row_ptr),
+        )
+        return COO(src, self.col_idx.copy(), self.num_vertices, weights=self.weights.copy())
+
+    def rebuild_with_edges(self, src, dst, weights=None) -> "CSRGraph":
+        """The only way to "update" CSR: rebuild from scratch with the new
+        edges appended — the cost the paper's Section II-A calls out."""
+        extra = COO(
+            as_int_array(src, "src"),
+            as_int_array(dst, "dst"),
+            self.num_vertices,
+            weights=None if weights is None else as_int_array(weights, "weights"),
+        )
+        base = self.export_coo()
+        merged = COO(
+            np.concatenate([base.src, extra.src]),
+            np.concatenate([base.dst, extra.dst]),
+            self.num_vertices,
+            weights=np.concatenate([base.weights, extra.weights_or_zeros()]),
+        )
+        return CSRGraph(merged)
+
+    def sorted_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR rows are already sorted; return (row_ptr, col_idx) views."""
+        return self.row_ptr, self.col_idx

@@ -1,0 +1,29 @@
+"""Evaluation harness regenerating the paper's Tables II-IX and Figures 2-3.
+
+Layout:
+
+- :mod:`repro.bench.workloads` — batch generators implementing Section V's
+  workload definitions (random edge batches with duplicates allowed,
+  vertex batches, incremental build schedules) and structure factories;
+- :mod:`repro.bench.harness` — timing/throughput utilities and result
+  records;
+- :mod:`repro.bench.tables` — one function per paper table, returning rows
+  shaped like the paper's (`table2_edge_insertion()` etc.);
+- :mod:`repro.bench.figures` — the Figure 2/3 load-factor sweeps;
+- :mod:`repro.bench.runner` — ``python -m repro.bench.runner`` regenerates
+  every artifact and prints paper-style tables.
+
+The pytest-benchmark entry points live in ``benchmarks/`` at the repo root
+and call into this package.
+"""
+
+from repro.bench.harness import BenchRecord, format_table, time_call
+from repro.bench.workloads import make_structure, random_edge_batch, random_vertex_batch
+
+__all__ = [
+    "BenchRecord",
+    "format_table",
+    "make_structure",
+    "random_edge_batch",
+    "random_vertex_batch",
+]

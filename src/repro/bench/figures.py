@@ -1,0 +1,140 @@
+"""Figure 2 and Figure 3 load-factor sweeps.
+
+The paper builds RMAT graphs (2^20 vertices, 15M-135M edges → average
+degree ≈ 14-129) at different load factors and reports, against the
+resulting *average chain length*:
+
+- Fig. 2a — insertion throughput (drops ~2.5x by chain length 5);
+- Fig. 2b — memory utilization (rises toward 1);
+- Fig. 2c — memory usage in MB (falls as fewer buckets are allocated);
+- Fig. 3  — static triangle-counting time: slow at very low load factor
+  (iterating sparse lists touches many near-empty slabs) and at high load
+  factor (probes walk long chains), optimal near 0.7.
+
+Scaled setup: RMAT scale 12 with edge factors 16-128 reproduces the
+paper's degree range at 1/256 the vertex count.  "Load factor" is the
+bucket-sizing parameter ``lf`` in ``buckets = ceil(d / (lf * Bc))``: lf < 1
+leaves slack per bucket, lf ≫ 1 forces multi-slab chains, so sweeping lf
+sweeps the x-axis of all four plots.  Figure 2 uses the weighted map
+variant (15 lanes/slab, as when edge values are stored); Figure 3 uses the
+set variant on the symmetrized graph, like the paper's TC experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.triangle_count import triangle_count_hash
+from repro.bench.harness import time_call
+from repro.core import DynamicGraph
+from repro.datasets.rmat import rmat_graph
+
+__all__ = [
+    "LoadFactorPoint",
+    "figure2_sweep",
+    "figure3_sweep",
+    "points_as_rows",
+    "LOAD_FACTORS",
+    "EDGE_FACTORS",
+    "TC_EDGE_FACTORS",
+]
+
+#: Sizing load factors realizing average chain lengths ≈ 0.3 .. 5.
+LOAD_FACTORS = [0.3, 0.5, 0.7, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0]
+
+#: Scaled analogues of the paper's 15M..135M-edge series (avg deg 16..128).
+EDGE_FACTORS = [16, 32, 64, 96, 128]
+
+#: Smaller degree series for the (probe-heavy) Figure 3 sweep.
+TC_EDGE_FACTORS = [8, 24, 48]
+
+
+@dataclass
+class LoadFactorPoint:
+    """One point of the Figure 2/3 sweeps (model-time metrics)."""
+
+    edge_factor: int
+    load_factor: float
+    mean_chain_length: float
+    insertion_rate_medges: float
+    memory_utilization: float
+    memory_mb: float
+    tc_seconds: float | None = None
+    num_edges: int = 0
+
+
+def figure2_sweep(scale: int = 12, seed: int = 0) -> list[LoadFactorPoint]:
+    """Fig. 2a/2b/2c: build each (edge factor, load factor) pair and
+    measure insertion rate, utilization, and memory."""
+    points = []
+    for ef in EDGE_FACTORS:
+        coo = rmat_graph(scale, ef, seed=seed)
+        for lf in LOAD_FACTORS:
+            g = DynamicGraph(coo.num_vertices, weighted=True, load_factor=lf)
+            rec, _ = time_call("build", g.bulk_build, coo, items=coo.num_edges)
+            st = g.stats()
+            points.append(
+                LoadFactorPoint(
+                    edge_factor=ef,
+                    load_factor=lf,
+                    mean_chain_length=st.mean_bucket_load,
+                    insertion_rate_medges=rec.throughput_m,
+                    memory_utilization=st.memory_utilization,
+                    memory_mb=st.memory_bytes / 2**20,
+                    num_edges=coo.num_edges,
+                )
+            )
+    return points
+
+
+def figure3_sweep(scale: int = 11, seed: int = 0) -> list[LoadFactorPoint]:
+    """Fig. 3: static TC model time versus chain length on undirected RMAT."""
+    points = []
+    for ef in TC_EDGE_FACTORS:
+        coo = rmat_graph(scale, ef, seed=seed).symmetrized().deduplicated()
+        for lf in LOAD_FACTORS:
+            g = DynamicGraph(coo.num_vertices, weighted=False, load_factor=lf)
+            rec_b, _ = time_call("build", g.bulk_build, coo, items=coo.num_edges)
+            st = g.stats()
+            rec_tc, _ = time_call("tc", triangle_count_hash, g)
+            points.append(
+                LoadFactorPoint(
+                    edge_factor=ef,
+                    load_factor=lf,
+                    mean_chain_length=st.mean_bucket_load,
+                    insertion_rate_medges=rec_b.throughput_m,
+                    memory_utilization=st.memory_utilization,
+                    memory_mb=st.memory_bytes / 2**20,
+                    tc_seconds=rec_tc.model_seconds,
+                    num_edges=coo.num_edges,
+                )
+            )
+    return points
+
+
+def points_as_rows(points: list[LoadFactorPoint], with_tc: bool = False):
+    """Tabular form for format_table / CSV export."""
+    headers = [
+        "Edge factor",
+        "Load factor",
+        "Chain length",
+        "Insert MEdge/s",
+        "Mem util",
+        "Mem MB",
+    ]
+    if with_tc:
+        headers.append("TC ms")
+    rows = []
+    for p in points:
+        row = [
+            p.edge_factor,
+            p.load_factor,
+            p.mean_chain_length,
+            p.insertion_rate_medges,
+            p.memory_utilization,
+            p.memory_mb,
+        ]
+        if with_tc:
+            row.append((p.tc_seconds or 0.0) * 1e3)
+        rows.append(row)
+    return headers, rows

@@ -1,0 +1,65 @@
+"""Regenerate every paper artifact: ``python -m repro.bench.runner``.
+
+Runs Tables II-IX and the Figure 2/3 sweeps in paper order and prints each
+as a fixed-width table.  Pass ``--quick`` to shrink the sweeps (used by CI
+and the integration test); pass table ids (``t2 t7 f2`` ...) to run a
+subset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from time import perf_counter
+
+from repro.bench.figures import figure2_sweep, figure3_sweep, points_as_rows
+from repro.bench.harness import format_table
+from repro.bench import tables as T
+
+__all__ = ["main"]
+
+_ARTIFACTS = {
+    "t2": ("Table II — mean edge insertion rates (MEdge/s)", T.table2_edge_insertion),
+    "t3": ("Table III — mean edge deletion rates (MEdge/s)", T.table3_edge_deletion),
+    "t4": ("Table IV — mean vertex deletion throughput (MVertex/s)", T.table4_vertex_deletion),
+    "t5": ("Table V — bulk build elapsed time (ms)", T.table5_bulk_build),
+    "t6": ("Table VI — incremental build rates (MEdge/s)", T.table6_incremental_build),
+    "t7": ("Table VII — static triangle counting time (ms)", T.table7_static_triangle_counting),
+    "t8": ("Table VIII — sort cost (ms)", T.table8_sort_cost),
+    "t9": ("Table IX — dynamic TC cumulative time (ms)", T.table9_dynamic_triangle_counting),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="*", default=[], help="subset: t2..t9 f2 f3")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps")
+    args = parser.parse_args(argv)
+
+    wanted = [a.lower() for a in args.artifacts] or list(_ARTIFACTS) + ["f2", "f3"]
+    for key in wanted:
+        t0 = perf_counter()
+        if key in _ARTIFACTS:
+            title, fn = _ARTIFACTS[key]
+            headers, rows = fn(seed=args.seed)
+            print(format_table(title, headers, rows))
+        elif key == "f2":
+            scale = 10 if args.quick else 12
+            pts = figure2_sweep(scale=scale, seed=args.seed)
+            headers, rows = points_as_rows(pts)
+            print(format_table("Figure 2 — load-factor sweep (RMAT)", headers, rows))
+        elif key == "f3":
+            scale = 10 if args.quick else 12
+            pts = figure3_sweep(scale=scale, seed=args.seed)
+            headers, rows = points_as_rows(pts, with_tc=True)
+            print(format_table("Figure 3 — TC time vs chain length (RMAT)", headers, rows))
+        else:
+            print(f"unknown artifact {key!r}; valid: {list(_ARTIFACTS) + ['f2', 'f3']}")
+            return 2
+        print(f"[{key} took {perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Workload generators for the Section V evaluation strategy.
+
+The operation benchmarks (Section V-A) insert/delete *random* batches:
+"edges are inserted or deleted between existing vertices in the graph;
+duplicate edges are allowed within a batch and across the batch and the
+graph" — :func:`random_edge_batch` is exactly that.  Vertex-deletion
+batches sample existing vertex ids without replacement.
+
+:func:`make_structure` is the uniform factory the benches use to pit the
+structures against each other on identical inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import FaimGraph, GPMAGraph, HornetGraph
+from repro.coo import COO
+from repro.core import DynamicGraph
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "random_edge_batch",
+    "random_vertex_batch",
+    "make_structure",
+    "bulk_built_structure",
+    "STRUCTURES",
+]
+
+#: Names accepted by :func:`make_structure`.
+STRUCTURES = ("ours", "hornet", "faimgraph", "gpma")
+
+
+def random_edge_batch(
+    num_vertices: int, batch_size: int, seed: int = 0, weighted: bool = False
+):
+    """A batch of random edges among existing vertex ids (dups allowed)."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, size=int(batch_size), dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=int(batch_size), dtype=np.int64)
+    if weighted:
+        w = rng.integers(0, 2**31 - 1, size=int(batch_size), dtype=np.int64)
+        return src, dst, w
+    return src, dst, None
+
+
+def random_vertex_batch(num_vertices: int, batch_size: int, seed: int = 0) -> np.ndarray:
+    """Distinct existing vertex ids to delete (without replacement)."""
+    rng = np.random.default_rng(seed)
+    size = min(int(batch_size), int(num_vertices))
+    return rng.choice(num_vertices, size=size, replace=False).astype(np.int64)
+
+
+def make_structure(name: str, num_vertices: int, weighted: bool = False):
+    """Instantiate a dynamic structure by bench name."""
+    if name == "ours":
+        return DynamicGraph(num_vertices, weighted=weighted)
+    if name == "hornet":
+        return HornetGraph(num_vertices, weighted=weighted)
+    if name == "faimgraph":
+        return FaimGraph(num_vertices, weighted=weighted)
+    if name == "gpma":
+        return GPMAGraph(num_vertices)
+    raise ValidationError(f"unknown structure {name!r}; choose from {STRUCTURES}")
+
+
+def bulk_built_structure(name: str, coo: COO, weighted: bool = False):
+    """A structure pre-loaded with a dataset (the Section V-A setup step)."""
+    g = make_structure(name, coo.num_vertices, weighted=weighted)
+    g.bulk_build(coo)
+    return g

@@ -1,0 +1,21 @@
+"""B-tree adjacency lists — the paper's Section VII future-work direction.
+
+"Other data structures can be used to represent adjacency lists.  For
+instance, a B-Tree [Awad et al., PPoPP 2019] provides a different set of
+operations as well as maintaining a sorted adjacency list, an optimization
+that is useful in certain graph algorithms."
+
+This subpackage explores that design point: :class:`BTreeGraph` stores one
+B+-tree per vertex over 128-byte nodes (14 key/value lanes + fanout-15
+children, matching the GPU B-tree's node-per-cache-line layout).  Compared
+with the hash structure it trades slower point updates for *natively
+sorted* adjacency — sorted iteration and range queries are free, and
+triangle counting can use sorted intersections without the Table VIII
+re-sort cost.  The ablation bench ``bench_ablation_btree.py`` quantifies
+the trade.
+"""
+
+from repro.btree.graph import BTreeGraph
+from repro.btree.tree import BPlusTreeArena
+
+__all__ = ["BPlusTreeArena", "BTreeGraph"]

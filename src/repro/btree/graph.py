@@ -1,0 +1,182 @@
+"""A dynamic graph with one B+-tree per adjacency list.
+
+Exposes the same batched surface as :class:`repro.core.DynamicGraph` (so
+the bench harness and the cross-structure semantics tests can drive it),
+plus the two operations only a sorted adjacency can serve cheaply:
+
+- :meth:`neighbors_sorted` — ascending adjacency without any sort pass;
+- :meth:`neighbor_range` — all neighbors with ids in ``[lo, hi)``.
+
+Updates route through the scalar tree operations grouped by source vertex
+(B-tree updates are pointer-chasing by nature; the arena still charges
+node traffic so the cost model can price them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.btree.tree import BPlusTreeArena
+from repro.coo import COO
+from repro.gpusim.counters import get_counters
+from repro.util.errors import ValidationError
+from repro.util.groupby import last_occurrence_mask
+from repro.util.validation import as_int_array, check_equal_length, check_in_range
+
+__all__ = ["BTreeGraph"]
+
+
+class BTreeGraph:
+    """B-tree-per-vertex dynamic graph (sorted adjacency maintained)."""
+
+    def __init__(self, num_vertices: int, weighted: bool = True) -> None:
+        if num_vertices < 1:
+            raise ValidationError("num_vertices must be positive")
+        self.num_vertices = int(num_vertices)
+        self.weighted = bool(weighted)
+        self.directed = True
+        self._arena = BPlusTreeArena(self.num_vertices)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _prep(self, src, dst, weights):
+        src = as_int_array(src, "src")
+        dst = as_int_array(dst, "dst")
+        check_equal_length(("src", src), ("dst", dst))
+        if weights is not None:
+            weights = as_int_array(weights, "weights")
+            check_equal_length(("src", src), ("weights", weights))
+        if src.size:
+            check_in_range(src, 0, self.num_vertices, "src")
+            check_in_range(dst, 0, self.num_vertices, "dst")
+        return src, dst, weights
+
+    # -- updates ----------------------------------------------------------------
+
+    def insert_edges(self, src, dst, weights=None) -> int:
+        """Batched insert-with-replace; returns edges newly added."""
+        src, dst, weights = self._prep(src, dst, weights)
+        if src.size == 0:
+            return 0
+        get_counters().kernel_launches += 1
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        weights = weights[keep] if weights is not None else None
+        if src.size == 0:
+            return 0
+        comp = (src << np.int64(32)) | dst
+        last = last_occurrence_mask(comp)
+        src, dst = src[last], dst[last]
+        w = weights[last] if weights is not None else np.zeros(src.size, dtype=np.int64)
+        # Group by source so each tree's root is resolved once per run.
+        order = np.argsort(src, kind="stable")
+        added = 0
+        for i in order.tolist():
+            added += self._arena.insert_one(int(src[i]), int(dst[i]), int(w[i]))
+        return added
+
+    def delete_edges(self, src, dst) -> int:
+        """Batched delete; returns edges removed."""
+        src, dst, _ = self._prep(src, dst, None)
+        if src.size == 0:
+            return 0
+        get_counters().kernel_launches += 1
+        comp = np.unique((src << np.int64(32)) | dst)
+        removed = 0
+        for c in comp.tolist():
+            removed += self._arena.delete_one(int(c >> 32), int(c & 0xFFFFFFFF))
+        return removed
+
+    def delete_vertices(self, vertex_ids) -> int:
+        """Delete vertices and all incident edges (undirected semantics:
+        the ids are also removed from every other tree they appear in)."""
+        vertex_ids = np.unique(as_int_array(vertex_ids, "vertex_ids"))
+        if vertex_ids.size == 0:
+            return 0
+        check_in_range(vertex_ids, 0, self.num_vertices, "vertex_ids")
+        removed = 0
+        doomed = set(vertex_ids.tolist())
+        for v in vertex_ids.tolist():
+            nbrs, _ = self.neighbors_sorted(v)
+            removed += int(nbrs.size)
+            for u in nbrs.tolist():
+                if u not in doomed:
+                    removed += self._arena.delete_one(int(u), int(v))
+            self._arena.destroy_tree(int(v))
+        return removed
+
+    # -- queries ------------------------------------------------------------------
+
+    def edge_exists(self, src, dst) -> np.ndarray:
+        src, dst, _ = self._prep(src, dst, None)
+        out = np.zeros(src.shape[0], dtype=bool)
+        for i in range(src.shape[0]):
+            out[i], _ = self._arena.search_one(int(src[i]), int(dst[i]))
+        return out
+
+    def edge_weights(self, src, dst) -> tuple[np.ndarray, np.ndarray]:
+        src, dst, _ = self._prep(src, dst, None)
+        found = np.zeros(src.shape[0], dtype=bool)
+        vals = np.zeros(src.shape[0], dtype=np.int64)
+        for i in range(src.shape[0]):
+            found[i], vals[i] = self._arena.search_one(int(src[i]), int(dst[i]))
+        return found, vals
+
+    def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.neighbors_sorted(vertex)
+
+    def neighbors_sorted(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
+        """Adjacency in ascending order — no sort pass needed."""
+        return self._arena.items_sorted(int(vertex))
+
+    def neighbor_range(self, vertex: int, lo: int, hi: int) -> np.ndarray:
+        """Neighbors with ids in [lo, hi) — the range query hash tables
+        cannot serve (Section VII)."""
+        keys, _ = self._arena.range_query(int(vertex), int(lo), int(hi))
+        return keys
+
+    def degree(self, vertex_ids) -> np.ndarray:
+        vids = np.atleast_1d(np.asarray(vertex_ids, dtype=np.int64))
+        return np.array([self._arena.count(int(v)) for v in vids], dtype=np.int64)
+
+    def num_edges(self) -> int:
+        return int(self._arena._count.sum())
+
+    # -- construction / export -------------------------------------------------------
+
+    def bulk_build(self, coo: COO) -> int:
+        if self.num_edges():
+            raise ValidationError("bulk_build requires an empty graph")
+        return self.insert_edges(
+            coo.src, coo.dst, coo.weights if self.weighted else None
+        )
+
+    def export_coo(self) -> COO:
+        srcs, dsts, ws = [], [], []
+        for v in np.flatnonzero(self._arena.root != -1).tolist():
+            k, val = self._arena.items_sorted(v)
+            if k.size:
+                srcs.append(np.full(k.size, v, dtype=np.int64))
+                dsts.append(k)
+                ws.append(val)
+        if not srcs:
+            e = np.empty(0, dtype=np.int64)
+            return COO(e, e.copy(), self.num_vertices)
+        return COO(
+            np.concatenate(srcs),
+            np.concatenate(dsts),
+            self.num_vertices,
+            weights=np.concatenate(ws) if self.weighted else None,
+        )
+
+    def sorted_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """(row_ptr, col_idx) — already sorted, by construction."""
+        coo = self.export_coo()
+        degs = np.bincount(coo.src, minlength=self.num_vertices)
+        row_ptr = np.concatenate([[0], np.cumsum(degs)]).astype(np.int64)
+        order = np.argsort(coo.src, kind="stable")  # dst already ascending per src
+        return row_ptr, coo.dst[order]
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._arena.allocated_bytes

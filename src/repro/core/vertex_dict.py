@@ -1,0 +1,86 @@
+"""The vertex dictionary (Section III-a, IV-A1).
+
+"We store vertices in a simple fixed-size array, indexed by vertex ID" —
+the dictionary is capacity-bounded but growable: exceeding capacity
+triggers a reallocation that copies only the per-vertex *handles* (table
+base pointers, bucket counts, edge counters), never adjacency data.  That
+shallow-copy property is the paper's argument for why over-allocation is
+cheap to recover from; :class:`repro.gpusim.memory.GrowableArray` charges
+exactly those copied bytes to the performance model.
+
+The dictionary also owns the *exact* per-vertex edge counters maintained by
+the popc-of-ballot accounting in the edge kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.slabhash.arena import SlabArena
+from repro.util.errors import ValidationError
+
+__all__ = ["VertexDictionary"]
+
+
+class VertexDictionary:
+    """Per-vertex handles and counters backed by a :class:`SlabArena`.
+
+    The arena holds ``table_base`` / ``table_buckets`` (the "pointers to the
+    hash table associated with each vertex"); this class adds the edge
+    counters and the active-vertex mask, and coordinates growth of all of
+    them together.
+    """
+
+    def __init__(self, capacity: int, weighted: bool, hash_seed: int = 0x5AB0) -> None:
+        if capacity < 1:
+            raise ValidationError("vertex capacity must be at least 1")
+        self.arena = SlabArena(int(capacity), weighted=weighted, hash_seed=hash_seed)
+        self.edge_count = np.zeros(int(capacity), dtype=np.int64)
+        self.active = np.zeros(int(capacity), dtype=bool)
+
+    @property
+    def capacity(self) -> int:
+        return self.arena.num_tables
+
+    def ensure_capacity(self, needed: int) -> None:
+        """Grow (by doubling) so ids < ``needed`` are addressable.
+
+        This is the paper's dictionary reallocation: only handles move.
+        """
+        if needed <= self.capacity:
+            return
+        new_cap = self.capacity
+        while new_cap < needed:
+            new_cap *= 2
+        self.arena.grow_tables(new_cap)
+        grown_counts = np.zeros(new_cap, dtype=np.int64)
+        grown_counts[: self.edge_count.shape[0]] = self.edge_count
+        self.edge_count = grown_counts
+        grown_active = np.zeros(new_cap, dtype=bool)
+        grown_active[: self.active.shape[0]] = self.active
+        self.active = grown_active
+
+    def ensure_tables(self, vertex_ids: np.ndarray, expected_degree=None, load_factor=0.7):
+        """Create hash tables for any of ``vertex_ids`` lacking one.
+
+        With connectivity information (``expected_degree`` aligned with
+        ``vertex_ids``) buckets are sized as ``ceil(d / (lf * Bc))``;
+        without it each new table gets a single bucket (Section III-b).
+        """
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        missing = ~self.arena.has_table(vertex_ids)
+        if not missing.any():
+            return
+        new_ids, first_pos = np.unique(vertex_ids[missing], return_index=True)
+        if expected_degree is None:
+            buckets = np.ones(new_ids.shape[0], dtype=np.int64)
+        else:
+            expected = np.asarray(expected_degree, dtype=np.int64)[missing][first_pos]
+            buckets = SlabArena.buckets_for(expected, load_factor, self.arena.pool.lane_capacity)
+        self.arena.create_tables(new_ids, buckets)
+
+    def num_active(self) -> int:
+        return int(self.active.sum())
+
+    def total_edges(self) -> int:
+        return int(self.edge_count.sum())

@@ -1,0 +1,116 @@
+"""Batched vertex insertion and deletion (Section IV-D, Algorithm 2).
+
+Vertex insertion is "inserting edges connected to a vertex that has an
+empty adjacency list": grow the dictionary if the ids exceed capacity
+(shallow pointer copy), create appropriately sized tables, then run the
+ordinary edge-insertion kernel.
+
+Vertex deletion follows Algorithm 2.  On hardware each warp drains an
+atomic work queue of doomed vertices and, per vertex, iterates its
+adjacency to erase the reverse edges; vectorized, all doomed vertices'
+adjacencies are gathered in one iterator sweep and all reverse deletions
+run as one delete kernel — the same slab traffic without the queue (the
+queue exists to load-balance warps, which a batch kernel gets for free).
+Overflow slabs are freed, base slabs retained, and edge counts zeroed
+(Algorithm 2 lines 18-22).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.counters import get_counters
+from repro.util.validation import as_int_array, check_in_range
+
+__all__ = ["insert_vertices", "delete_vertices"]
+
+
+def insert_vertices(graph, vertex_ids, expected_degree=None) -> None:
+    """Register vertices (growing the dictionary if needed).
+
+    ``expected_degree`` sizes each new table from connectivity information;
+    omitted, new tables get one bucket.  Ids beyond current capacity
+    trigger dictionary growth (Section IV-A1's pointer-copying extension).
+    Edges are attached afterwards with :meth:`DynamicGraph.insert_edges`.
+    """
+    vertex_ids = as_int_array(vertex_ids, "vertex_ids")
+    if vertex_ids.size == 0:
+        return
+    if vertex_ids.min() < 0:
+        raise ValueError("vertex ids must be non-negative")
+    graph._dict.ensure_capacity(int(vertex_ids.max()) + 1)
+    graph._dict.ensure_tables(vertex_ids, expected_degree, graph.load_factor)
+    graph._dict.active[vertex_ids] = True
+
+
+def delete_vertices(graph, vertex_ids) -> int:
+    """Delete vertices and every edge touching them; returns edges removed.
+
+    Follows Algorithm 2 for undirected graphs (erase the vertex from each
+    neighbour's table via the adjacency iterator).  For directed graphs the
+    reverse edges cannot be found from the vertex's own table, so the
+    paper's "follow-up lookup" applies: a full sweep deletes the doomed ids
+    from every remaining table.
+    """
+    vertex_ids = as_int_array(vertex_ids, "vertex_ids")
+    if vertex_ids.size == 0:
+        return 0
+    check_in_range(vertex_ids, 0, graph.vertex_capacity, "vertex_ids")
+    vertex_ids = np.unique(vertex_ids)
+    vd = graph._dict
+    counters = get_counters()
+    # Algorithm 2 uses one atomicAdd per vertex acquisition; charge those.
+    counters.atomics += int(vertex_ids.size)
+
+    removed_total = 0
+    if graph.directed:
+        removed_total += _cleanup_references(graph, vertex_ids)
+    else:
+        # Iterate the doomed vertices' adjacency lists and erase the reverse
+        # edges (Algorithm 2, lines 11-17).
+        owners, neighbors, _ = vd.arena.iterate(vertex_ids)
+        if neighbors.size:
+            doomed_of_entry = vertex_ids[owners]
+            removed = vd.arena.delete(neighbors, doomed_of_entry)
+            if removed.any():
+                delta = np.bincount(neighbors[removed], minlength=vd.capacity)
+                vd.edge_count -= delta
+            removed_total += int(removed.sum())
+
+    # Free dynamically allocated slabs, reset bases, zero the counts
+    # (lines 18-22).
+    own_edges = int(vd.edge_count[vertex_ids].sum())
+    vd.arena.clear_tables(vertex_ids)
+    vd.edge_count[vertex_ids] = 0
+    vd.active[vertex_ids] = False
+    removed_total += own_edges
+    return removed_total
+
+
+def _cleanup_references(graph, doomed: np.ndarray) -> int:
+    """Directed-case sweep: delete edges *into* the doomed vertices.
+
+    The paper ends vertex deletion "with a follow-up lookup and delete of
+    all of the deleted vertices in all of the hash tables"; this is that
+    pass, restricted to tables that exist.
+    """
+    vd = graph._dict
+    all_ids = np.flatnonzero(vd.arena.table_base != -1)
+    # Skip the doomed tables themselves; they are cleared wholesale.
+    all_ids = all_ids[~np.isin(all_ids, doomed)]
+    if all_ids.size == 0:
+        return 0
+    owners, neighbors, _ = vd.arena.iterate(all_ids)
+    if neighbors.size == 0:
+        return 0
+    doomed_mask = np.zeros(vd.capacity, dtype=bool)
+    doomed_mask[doomed] = True
+    hit = doomed_mask[neighbors]
+    if not hit.any():
+        return 0
+    srcs = all_ids[owners[hit]]
+    removed = vd.arena.delete(srcs, neighbors[hit])
+    if removed.any():
+        delta = np.bincount(srcs[removed], minlength=vd.capacity)
+        vd.edge_count -= delta
+    return int(removed.sum())

@@ -1,0 +1,50 @@
+"""Device properties for the simulated GPU.
+
+These constants mirror the hardware assumptions the paper bakes into its
+data-structure layout: 32-thread warps and 128-byte memory transactions,
+which is why a slab is 128 bytes = 32 x 4-byte words — one coalesced
+transaction per warp per slab access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProperties", "default_device"]
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Static properties of the simulated device.
+
+    Attributes
+    ----------
+    warp_size:
+        Threads per warp; fixed at 32 on all NVIDIA hardware the paper
+        targets and assumed by the slab layout.
+    slab_bytes:
+        Bytes per slab / memory page; 128 matches both SlabHash's slab and
+        the faimGraph page size the paper configures for parity.
+    word_bytes:
+        Bytes per word (keys, values and pointers are 32-bit).
+    name:
+        Human-readable label for reports.
+    """
+
+    warp_size: int = 32
+    slab_bytes: int = 128
+    word_bytes: int = 4
+    name: str = "simulated-titan-v"
+
+    @property
+    def words_per_slab(self) -> int:
+        """Words in one slab (32 for the default 128B/4B configuration)."""
+        return self.slab_bytes // self.word_bytes
+
+
+_DEFAULT = DeviceProperties()
+
+
+def default_device() -> DeviceProperties:
+    """Return the process-global default device description."""
+    return _DEFAULT

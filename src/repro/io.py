@@ -1,0 +1,198 @@
+"""Graph I/O: MatrixMarket, plain edge lists, and NPZ snapshots.
+
+The paper's datasets come from SuiteSparse (MatrixMarket ``.mtx``) and
+SNAP (whitespace edge lists); a downstream user of this library needs to
+load those formats and to checkpoint dynamic graphs.  Three formats:
+
+- :func:`read_matrix_market` / :func:`write_matrix_market` — the
+  ``coordinate`` subset of MatrixMarket (pattern / integer / real values;
+  ``general`` and ``symmetric`` symmetry), 1-based indices per the spec;
+- :func:`read_edge_list` / :func:`write_edge_list` — whitespace-separated
+  ``src dst [weight]`` lines with ``#`` comments (SNAP style), 0-based;
+- :func:`save_npz` / :func:`load_npz` — lossless binary COO snapshots.
+
+All readers return :class:`repro.coo.COO`; weights are stored as int64
+(real-valued MatrixMarket entries are rounded — this library's edge values
+are 32-bit words, Section II-A footnote 1).
+"""
+
+from __future__ import annotations
+
+import io as _stdio
+from pathlib import Path
+
+import numpy as np
+
+from repro.coo import COO
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+]
+
+
+def _open_text(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+# ---------------------------------------------------------------------------
+# MatrixMarket
+# ---------------------------------------------------------------------------
+
+
+def read_matrix_market(path_or_file) -> COO:
+    """Read a MatrixMarket coordinate file into a COO.
+
+    Supports ``pattern`` (unweighted), ``integer``, and ``real`` fields and
+    ``general`` / ``symmetric`` symmetry (symmetric entries are mirrored,
+    diagonal not duplicated).  Square and rectangular matrices both map to
+    a vertex-id space of ``max(rows, cols)``.
+    """
+    fh, owned = _open_text(path_or_file, "r")
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValidationError("not a MatrixMarket file (missing %%MatrixMarket)")
+        parts = header.strip().split()
+        if len(parts) < 5 or parts[1] != "matrix" or parts[2] != "coordinate":
+            raise ValidationError(f"unsupported MatrixMarket header: {header.strip()}")
+        field, symmetry = parts[3], parts[4]
+        if field not in ("pattern", "integer", "real"):
+            raise ValidationError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValidationError(f"unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        rows, cols, nnz = (int(x) for x in line.split())
+
+        data = np.loadtxt(fh, ndmin=2) if nnz else np.empty((0, 2))
+        if data.shape[0] != nnz:
+            raise ValidationError(
+                f"expected {nnz} entries, found {data.shape[0]}"
+            )
+        src = data[:, 0].astype(np.int64) - 1
+        dst = data[:, 1].astype(np.int64) - 1
+        if field == "pattern":
+            weights = None
+        else:
+            weights = np.round(data[:, 2]).astype(np.int64) if data.shape[1] > 2 else None
+        n = max(rows, cols)
+        coo = COO(src, dst, n, weights=weights)
+        if symmetry == "symmetric":
+            off_diag = src != dst
+            coo = COO(
+                np.concatenate([src, dst[off_diag]]),
+                np.concatenate([dst, src[off_diag]]),
+                n,
+                weights=None
+                if weights is None
+                else np.concatenate([weights, weights[off_diag]]),
+            )
+        return coo
+    finally:
+        if owned:
+            fh.close()
+
+
+def write_matrix_market(path_or_file, coo: COO, comment: str | None = None) -> None:
+    """Write a COO as a ``general`` MatrixMarket coordinate file."""
+    field = "pattern" if coo.weights is None else "integer"
+    fh, owned = _open_text(path_or_file, "w")
+    try:
+        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{coo.num_vertices} {coo.num_vertices} {coo.num_edges}\n")
+        if coo.weights is None:
+            for s, d in zip(coo.src.tolist(), coo.dst.tolist()):
+                fh.write(f"{s + 1} {d + 1}\n")
+        else:
+            for s, d, w in zip(coo.src.tolist(), coo.dst.tolist(), coo.weights.tolist()):
+                fh.write(f"{s + 1} {d + 1} {w}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+# ---------------------------------------------------------------------------
+# SNAP-style edge lists
+# ---------------------------------------------------------------------------
+
+
+def read_edge_list(path_or_file, num_vertices: int | None = None) -> COO:
+    """Read a whitespace ``src dst [weight]`` edge list (# comments)."""
+    fh, owned = _open_text(path_or_file, "r")
+    try:
+        rows = []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            rows.append(line.split())
+        if not rows:
+            return COO([], [], num_vertices or 0)
+        width = min(len(r) for r in rows)
+        if width < 2:
+            raise ValidationError("edge list lines need at least src and dst")
+        src = np.array([int(r[0]) for r in rows], dtype=np.int64)
+        dst = np.array([int(r[1]) for r in rows], dtype=np.int64)
+        weights = (
+            np.array([int(float(r[2])) for r in rows], dtype=np.int64)
+            if width >= 3
+            else None
+        )
+        return COO(src, dst, num_vertices, weights=weights)
+    finally:
+        if owned:
+            fh.close()
+
+
+def write_edge_list(path_or_file, coo: COO, header: bool = True) -> None:
+    """Write a COO as a SNAP-style edge list."""
+    fh, owned = _open_text(path_or_file, "w")
+    try:
+        if header:
+            fh.write(f"# vertices: {coo.num_vertices} edges: {coo.num_edges}\n")
+        if coo.weights is None:
+            for s, d in zip(coo.src.tolist(), coo.dst.tolist()):
+                fh.write(f"{s}\t{d}\n")
+        else:
+            for s, d, w in zip(coo.src.tolist(), coo.dst.tolist(), coo.weights.tolist()):
+                fh.write(f"{s}\t{d}\t{w}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+# ---------------------------------------------------------------------------
+# Binary snapshots
+# ---------------------------------------------------------------------------
+
+
+def save_npz(path, coo: COO) -> None:
+    """Lossless binary COO snapshot (``numpy.savez_compressed``)."""
+    payload = {"src": coo.src, "dst": coo.dst, "num_vertices": np.int64(coo.num_vertices)}
+    if coo.weights is not None:
+        payload["weights"] = coo.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path) -> COO:
+    """Load a :func:`save_npz` snapshot."""
+    with np.load(path) as data:
+        return COO(
+            data["src"],
+            data["dst"],
+            int(data["num_vertices"]),
+            weights=data["weights"] if "weights" in data else None,
+        )

@@ -1,0 +1,40 @@
+"""SlabHash: the GPU hash table underlying the paper's dynamic graph.
+
+A *slab* is one 128-byte memory unit — exactly one coalesced warp
+transaction on the simulated device.  A hash table is an array of bucket
+chains; each chain is a singly linked list of slabs.  Two variants exist
+(Section IV):
+
+- **concurrent map** — 15 key/value pairs per slab (``SLAB_KV_CAPACITY``),
+  used when edges carry weights/metadata;
+- **concurrent set** — 30 keys per slab (``SLAB_KEY_CAPACITY``), used when
+  only destinations matter (e.g. triangle counting).
+
+This subpackage implements a *multi-table arena*: all hash tables of a
+graph live in one structure-of-arrays slab pool so batched operations
+spanning thousands of per-vertex tables run as single vectorized kernels.
+:class:`SlabHashMap` / :class:`SlabHashSet` wrap a one-table arena for
+standalone use.
+"""
+
+from repro.slabhash.arena import SlabArena, SlabPool
+from repro.slabhash.constants import (
+    EMPTY_KEY,
+    MAX_KEY,
+    SLAB_KEY_CAPACITY,
+    SLAB_KV_CAPACITY,
+    TOMBSTONE_KEY,
+)
+from repro.slabhash.table import SlabHashMap, SlabHashSet
+
+__all__ = [
+    "EMPTY_KEY",
+    "MAX_KEY",
+    "SLAB_KEY_CAPACITY",
+    "SLAB_KV_CAPACITY",
+    "SlabArena",
+    "SlabHashMap",
+    "SlabHashSet",
+    "SlabPool",
+    "TOMBSTONE_KEY",
+]

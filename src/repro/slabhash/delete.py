@@ -1,0 +1,87 @@
+"""Batched tombstone-delete kernel.
+
+The vectorized counterpart of the slab-hash ``delete`` operation
+(Section IV-C2): walk the bucket chain; when the key is found its lane is
+overwritten with ``TOMBSTONE_KEY`` (the slot is *not* reclaimed, so later
+inserts keep appending at chain tails); when a slab containing an empty
+lane is reached without a match, the key is provably absent (empties exist
+only at chain tails) and the walk stops.
+
+The returned mask reports, per item, whether the key actually existed —
+the boolean the paper uses to keep exact per-vertex edge counts.
+Intra-batch duplicates of the same (table, key) are collapsed first; only
+one occurrence can succeed, matching any hardware serialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.counters import get_counters
+from repro.slabhash.constants import EMPTY_KEY, KEY_DTYPE, NULL_SLAB, TOMBSTONE_KEY
+from repro.util.groupby import first_occurrence_mask
+from repro.util.validation import as_int_array, check_equal_length, check_in_range
+
+__all__ = ["delete_batch"]
+
+
+def delete_batch(arena, table_ids, keys) -> np.ndarray:
+    """Delete (table, key) items; return per-item "existed and was removed"."""
+    table_ids = as_int_array(table_ids, "table_ids")
+    keys = as_int_array(keys, "keys")
+    n = check_equal_length(("table_ids", table_ids), ("keys", keys))
+    if n == 0:
+        return np.empty(0, dtype=bool)
+    check_in_range(table_ids, 0, arena.num_tables, "table_ids")
+
+    counters = get_counters()
+    counters.kernel_launches += 1
+    pool = arena.pool
+
+    composite = (table_ids.astype(np.int64) << 32) | keys.astype(np.int64)
+    keep = first_occurrence_mask(composite)
+    live_idx = np.flatnonzero(keep)
+    t = table_ids[live_idx]
+    k = keys[live_idx].astype(KEY_DTYPE)
+
+    removed = np.zeros(n, dtype=bool)
+
+    # Items aimed at never-created tables trivially miss.
+    exists = arena.table_base[t] != NULL_SLAB
+    active = np.flatnonzero(exists)
+    if active.size == 0:
+        return removed
+    cur = np.full(live_idx.shape[0], NULL_SLAB, dtype=np.int64)
+    cur[active] = arena.bucket_heads(t[active], keys[live_idx][active])
+    pending = active.astype(np.int64)
+
+    while pending.size:
+        counters.probe_rounds += 1
+        cur_p = cur[pending]
+        rows = pool.keys[cur_p]
+        counters.slab_reads += int(pending.size)
+
+        hit = rows == k[pending][:, None]
+        hit_any = hit.any(axis=1)
+        if hit_any.any():
+            found = np.flatnonzero(hit_any)
+            lanes = hit[found].argmax(axis=1)
+            pool.keys[cur_p[found], lanes] = KEY_DTYPE(TOMBSTONE_KEY)
+            counters.slab_writes += int(found.size)
+            removed[live_idx[pending[found]]] = True
+
+        rest = np.flatnonzero(~hit_any)
+        if rest.size == 0:
+            break
+        # A slab with an empty lane terminates the chain's data region:
+        # the key is absent.
+        has_empty = (rows[rest] == KEY_DTYPE(EMPTY_KEY)).any(axis=1)
+        cont = rest[~has_empty]
+        if cont.size == 0:
+            break
+        nxt = pool.next_slab[cur_p[cont]]
+        alive = nxt != NULL_SLAB
+        cur[pending[cont[alive]]] = nxt[alive]
+        pending = pending[cont[alive]]
+
+    return removed

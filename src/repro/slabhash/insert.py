@@ -1,0 +1,161 @@
+"""Batched insert-with-replace kernel.
+
+This is the vectorized counterpart of the paper's slab-hash ``replace``
+operation as scheduled by Algorithm 1.  One *probe round* of the kernel
+corresponds to one warp-synchronous chain step on the device: every pending
+item gathers its current slab, checks for its key, and either
+
+1. **replaces** — the key already exists; the value lane is overwritten and
+   the item reports "not newly added" (uniqueness is preserved, the most
+   recent weight wins);
+2. **claims an empty lane** — items targeting the same slab are grouped
+   (sort + rank-in-group, the vectorized analogue of the intra-warp
+   coalesced group) and the ``r``-th item of a group takes the ``r``-th
+   empty lane;
+3. **advances** — no key match and not enough empty lanes: the group's first
+   unplaced item allocates and links a new tail slab if needed (one
+   simulated atomic CAS per chain extension), and the leftovers move to the
+   next slab.
+
+Intra-batch duplicates of the same (table, key) are resolved *before* the
+walk by keeping the last occurrence — the serialization the paper specifies
+("only the most recent edge and its weight will be stored").  Dropped
+duplicates report "not newly added", so edge-count accounting stays exact.
+
+Tombstones are treated as occupied (Section IV-C2: faster inserts, empties
+only at chain tails), which is what lets searches stop at the first empty
+lane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.counters import get_counters
+from repro.slabhash.constants import (
+    EMPTY_KEY,
+    KEY_DTYPE,
+    MAX_KEY,
+    NULL_SLAB,
+    VALUE_DTYPE,
+)
+from repro.util.errors import ValidationError
+from repro.util.groupby import last_occurrence_mask, rank_within_group
+from repro.util.validation import as_int_array, check_equal_length, check_in_range
+
+__all__ = ["insert_batch"]
+
+
+def _composite(table_ids: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Pack (table, key) into one int64 for dedup sorts (key < 2**32)."""
+    return (table_ids.astype(np.int64) << 32) | keys.astype(np.int64)
+
+
+def insert_batch(arena, table_ids, keys, values=None) -> np.ndarray:
+    """Insert (table, key[, value]) items; return per-item "newly added".
+
+    Parameters
+    ----------
+    arena:
+        A :class:`repro.slabhash.arena.SlabArena`.
+    table_ids, keys, values:
+        Parallel arrays.  ``values`` is required for weighted (map) arenas
+        and ignored for set arenas.
+
+    Returns
+    -------
+    added : np.ndarray of bool
+        ``added[i]`` is True iff item ``i`` created a key that was not
+        previously in its table *and* item ``i`` is the batch's surviving
+        occurrence of that (table, key).  Summing per table therefore gives
+        the exact edge-count delta (popc-of-ballot semantics).
+    """
+    table_ids = as_int_array(table_ids, "table_ids")
+    keys = as_int_array(keys, "keys")
+    n = check_equal_length(("table_ids", table_ids), ("keys", keys))
+    if values is None:
+        values = np.zeros(n, dtype=np.int64)
+    else:
+        values = as_int_array(values, "values")
+        check_equal_length(("keys", keys), ("values", values))
+    if n == 0:
+        return np.empty(0, dtype=bool)
+    check_in_range(table_ids, 0, arena.num_tables, "table_ids")
+    check_in_range(keys, 0, MAX_KEY + 1, "keys")
+    if np.any(arena.table_base[table_ids] == NULL_SLAB):
+        raise ValidationError("insert targets a table that was never created")
+
+    counters = get_counters()
+    counters.kernel_launches += 1
+    pool = arena.pool
+    weighted = pool.weighted
+
+    # Intra-batch replace semantics: keep the last occurrence per (table, key).
+    keep = last_occurrence_mask(_composite(table_ids, keys))
+    live_idx = np.flatnonzero(keep)
+    t = table_ids[live_idx]
+    k = keys[live_idx].astype(KEY_DTYPE)
+    v = values[live_idx].astype(VALUE_DTYPE)
+
+    cur = arena.bucket_heads(t, keys[live_idx])
+    added = np.zeros(n, dtype=bool)
+    pending = np.arange(live_idx.shape[0], dtype=np.int64)
+
+    while pending.size:
+        counters.probe_rounds += 1
+        cur_p = cur[pending]
+        rows = pool.keys[cur_p]  # (m, Bc) gather = m slab reads
+        counters.slab_reads += int(pending.size)
+
+        hit = rows == k[pending][:, None]
+        hit_any = hit.any(axis=1)
+
+        # (1) replace existing keys (value update only; not "added").
+        if hit_any.any():
+            repl = np.flatnonzero(hit_any)
+            if weighted:
+                lanes = hit[repl].argmax(axis=1)
+                pool.values[cur_p[repl], lanes] = v[pending[repl]]
+                counters.slab_writes += int(repl.size)
+
+        rest = np.flatnonzero(~hit_any)
+        if rest.size == 0:
+            break
+        rest_slabs = cur_p[rest]
+        order = np.argsort(rest_slabs, kind="stable")
+        rest = rest[order]
+        rest_slabs = rest_slabs[order]
+        rank = rank_within_group(rest_slabs)
+
+        empty = rows[rest] == KEY_DTYPE(EMPTY_KEY)  # (r, Bc)
+        n_empty = empty.sum(axis=1)
+        fits = rank < n_empty
+
+        # (2) claim the rank-th empty lane of the shared slab.
+        if fits.any():
+            csum = np.cumsum(empty, axis=1)
+            lane_match = empty & (csum == (rank + 1)[:, None])
+            lanes = lane_match.argmax(axis=1)
+            fit_rows = rest[fits]
+            pool.keys[rest_slabs[fits], lanes[fits]] = k[pending[fit_rows]]
+            if weighted:
+                pool.values[rest_slabs[fits], lanes[fits]] = v[pending[fit_rows]]
+            counters.slab_writes += int(fit_rows.size)
+            added[live_idx[pending[fit_rows]]] = True
+
+        # (3) advance overflow items, extending chains where necessary.
+        over = rest[~fits]
+        if over.size:
+            over_slabs = rest_slabs[~fits]
+            nxt = pool.next_slab[over_slabs]
+            need = nxt == NULL_SLAB
+            if need.any():
+                tails = np.unique(over_slabs[need])
+                new_ids = pool.allocate(tails.size)
+                pool.next_slab[tails] = new_ids
+                counters.slab_writes += int(tails.size)  # link writes
+                nxt = pool.next_slab[over_slabs]
+            cur[pending[over]] = nxt
+        pending = pending[over] if over.size else pending[:0]
+
+    return added

@@ -1,0 +1,77 @@
+"""Batched search / membership kernel.
+
+The read-only chain walk behind ``edgeExist`` (Section IV-B): identical
+traversal to :mod:`repro.slabhash.delete` but without mutation.  Returns a
+found mask and, for map arenas, the stored values.
+
+Unlike insert/delete, the batch is *not* deduplicated: queries are
+idempotent and callers (e.g. triangle counting) legitimately probe the same
+pair many times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.counters import get_counters
+from repro.slabhash.constants import EMPTY_KEY, KEY_DTYPE, NULL_SLAB
+from repro.util.validation import as_int_array, check_equal_length, check_in_range
+
+__all__ = ["search_batch"]
+
+
+def search_batch(arena, table_ids, keys) -> tuple[np.ndarray, np.ndarray]:
+    """Probe (table, key) items; return ``(found, values)``.
+
+    ``values[i]`` is 0 whenever ``found[i]`` is False or the arena is a set.
+    """
+    table_ids = as_int_array(table_ids, "table_ids")
+    keys = as_int_array(keys, "keys")
+    n = check_equal_length(("table_ids", table_ids), ("keys", keys))
+    found = np.zeros(n, dtype=bool)
+    values = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return found, values
+    check_in_range(table_ids, 0, arena.num_tables, "table_ids")
+
+    counters = get_counters()
+    counters.kernel_launches += 1
+    pool = arena.pool
+    k = keys.astype(KEY_DTYPE)
+
+    exists = arena.table_base[table_ids] != NULL_SLAB
+    active = np.flatnonzero(exists)
+    if active.size == 0:
+        return found, values
+    cur = np.full(n, NULL_SLAB, dtype=np.int64)
+    cur[active] = arena.bucket_heads(table_ids[active], keys[active])
+    pending = active.astype(np.int64)
+
+    while pending.size:
+        counters.probe_rounds += 1
+        cur_p = cur[pending]
+        rows = pool.keys[cur_p]
+        counters.slab_reads += int(pending.size)
+
+        hit = rows == k[pending][:, None]
+        hit_any = hit.any(axis=1)
+        if hit_any.any():
+            got = np.flatnonzero(hit_any)
+            found[pending[got]] = True
+            if pool.weighted:
+                lanes = hit[got].argmax(axis=1)
+                values[pending[got]] = pool.values[cur_p[got], lanes]
+
+        rest = np.flatnonzero(~hit_any)
+        if rest.size == 0:
+            break
+        has_empty = (rows[rest] == KEY_DTYPE(EMPTY_KEY)).any(axis=1)
+        cont = rest[~has_empty]
+        if cont.size == 0:
+            break
+        nxt = pool.next_slab[cur_p[cont]]
+        alive = nxt != NULL_SLAB
+        cur[pending[cont[alive]]] = nxt[alive]
+        pending = pending[cont[alive]]
+
+    return found, values

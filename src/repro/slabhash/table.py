@@ -1,0 +1,133 @@
+"""Single-table convenience facades over the multi-table arena.
+
+The graph uses :class:`repro.slabhash.arena.SlabArena` directly (one table
+per vertex); these wrappers expose an ordinary hash-table API for
+standalone use, tests, and the quickstart example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.slabhash.arena import SlabArena
+from repro.slabhash.constants import SLAB_KEY_CAPACITY, SLAB_KV_CAPACITY
+
+__all__ = ["SlabHashMap", "SlabHashSet"]
+
+
+class _SlabTableBase:
+    """Shared implementation: a one-table arena plus scalar sugar."""
+
+    _weighted: bool
+
+    def __init__(
+        self,
+        expected_size: int = 32,
+        load_factor: float = 0.7,
+        num_buckets: int | None = None,
+        hash_seed: int = 0x5AB0,
+    ) -> None:
+        lane_cap = SLAB_KV_CAPACITY if self._weighted else SLAB_KEY_CAPACITY
+        if num_buckets is None:
+            num_buckets = int(SlabArena.buckets_for(expected_size, load_factor, lane_cap)[0])
+        self._arena = SlabArena(1, weighted=self._weighted, hash_seed=hash_seed)
+        self._arena.create_tables(np.array([0]), np.array([num_buckets]))
+        self._count = 0
+
+    # -- batched API ---------------------------------------------------------
+
+    def _tids(self, n: int) -> np.ndarray:
+        return np.zeros(n, dtype=np.int64)
+
+    def contains_batch(self, keys) -> np.ndarray:
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        found, _ = self._arena.search(self._tids(keys.shape[0]), keys)
+        return found
+
+    def delete_batch(self, keys) -> int:
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        removed = self._arena.delete(self._tids(keys.shape[0]), keys)
+        n = int(removed.sum())
+        self._count -= n
+        return n
+
+    # -- scalar sugar ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: int) -> bool:
+        return bool(self.contains_batch([int(key)])[0])
+
+    @property
+    def num_buckets(self) -> int:
+        return int(self._arena.table_buckets[0])
+
+    @property
+    def num_slabs(self) -> int:
+        slabs, _, _ = self._arena.table_slabs(np.array([0]))
+        return int(slabs.shape[0])
+
+    def flush(self) -> None:
+        """Compact away tombstones."""
+        self._arena.flush_tombstones(np.array([0]))
+
+
+class SlabHashMap(_SlabTableBase):
+    """Concurrent-map slab hash: 32-bit keys to 32-bit values.
+
+    >>> m = SlabHashMap(expected_size=100)
+    >>> m.insert_batch([1, 2, 1], [10, 20, 30])   # replace semantics
+    2
+    >>> m.get(1)
+    30
+    """
+
+    _weighted = True
+
+    def insert_batch(self, keys, values) -> int:
+        """Insert/replace; returns the number of *new* keys added."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        values = np.atleast_1d(np.asarray(values, dtype=np.int64))
+        added = self._arena.insert(self._tids(keys.shape[0]), keys, values)
+        n = int(added.sum())
+        self._count += n
+        return n
+
+    def get_batch(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        return self._arena.search(self._tids(keys.shape[0]), keys)
+
+    def get(self, key: int, default=None):
+        found, values = self.get_batch([int(key)])
+        return int(values[0]) if found[0] else default
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All live (keys, values), unordered."""
+        _, keys, values = self._arena.iterate(np.array([0]))
+        return keys, values
+
+
+class SlabHashSet(_SlabTableBase):
+    """Concurrent-set slab hash: 32-bit keys, no values.
+
+    >>> s = SlabHashSet(expected_size=100)
+    >>> s.insert_batch([5, 6, 5])
+    2
+    >>> 5 in s
+    True
+    """
+
+    _weighted = False
+
+    def insert_batch(self, keys) -> int:
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        added = self._arena.insert(self._tids(keys.shape[0]), keys)
+        n = int(added.sum())
+        self._count += n
+        return n
+
+    def items(self) -> np.ndarray:
+        """All live keys, unordered."""
+        _, keys, _ = self._arena.iterate(np.array([0]))
+        return keys

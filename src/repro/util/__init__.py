@@ -1,0 +1,46 @@
+"""Shared low-level helpers used across the repro package.
+
+This subpackage intentionally contains no graph- or hash-table-specific
+logic; it provides the vectorized building blocks (group-by / segmented
+operations, hashing, validation) that the simulated-GPU kernels are written
+in terms of.
+"""
+
+from repro.util.errors import (
+    CapacityError,
+    ReproError,
+    ValidationError,
+)
+from repro.util.groupby import (
+    group_starts,
+    last_occurrence_mask,
+    first_occurrence_mask,
+    rank_within_group,
+    segment_lengths_from_starts,
+    segmented_sum,
+    sorted_group_ids,
+)
+from repro.util.hashing import UniversalHashFamily, mix32
+from repro.util.validation import (
+    as_int_array,
+    check_equal_length,
+    check_in_range,
+)
+
+__all__ = [
+    "CapacityError",
+    "ReproError",
+    "ValidationError",
+    "UniversalHashFamily",
+    "as_int_array",
+    "check_equal_length",
+    "check_in_range",
+    "first_occurrence_mask",
+    "group_starts",
+    "last_occurrence_mask",
+    "mix32",
+    "rank_within_group",
+    "segment_lengths_from_starts",
+    "segmented_sum",
+    "sorted_group_ids",
+]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class.  Validation problems (bad dtypes, mismatched lengths,
+out-of-range vertex ids) raise :class:`ValidationError`; structural resource
+exhaustion that the library refuses to fix automatically (e.g. a fixed-size
+pool configured with ``allow_growth=False``) raises :class:`CapacityError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, or value range)."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A fixed-capacity resource was exhausted and growth was disallowed."""
+
+
+class PhaseError(ReproError, RuntimeError):
+    """An operation was attempted in the wrong phase.
+
+    The paper's data structure is *phase-concurrent*: batched updates and
+    batched queries never interleave.  The pure-Python reproduction is
+    single-threaded, so the only way to violate phase concurrency is to call
+    back into the structure from inside a kernel callback; this error guards
+    those entry points.
+    """

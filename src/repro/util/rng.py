@@ -1,0 +1,42 @@
+"""Deterministic RNG plumbing.
+
+All randomized components (dataset generators, workload batch generators,
+hash coefficient draws) take integer seeds and derive independent
+sub-streams with :func:`substream`, so a single top-level seed reproduces an
+entire experiment byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["substream", "spawn_seeds"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _fnv1a(text: str) -> int:
+    """FNV-1a over the UTF-8 bytes (stable across processes, unlike hash())."""
+    h = 0xCBF29CE484222325
+    for ch in text.encode():
+        h = ((h ^ ch) * 0x100000001B3) & _MASK64
+    return h
+
+
+def substream(seed: int, *tags: int | str) -> np.random.Generator:
+    """Derive an independent generator from ``seed`` and a tag path.
+
+    Tags may be ints or strings; strings are hashed stably (FNV-1a) so the
+    derivation does not depend on Python's randomized ``hash()``.
+    """
+    mixed = seed & _MASK64
+    for tag in tags:
+        tag_val = _fnv1a(tag) if isinstance(tag, str) else (tag & _MASK64)
+        mixed = (mixed * 6364136223846793005 + tag_val + 1) & _MASK64
+    return np.random.default_rng(mixed)
+
+
+def spawn_seeds(seed: int, n: int) -> list[int]:
+    """Produce ``n`` independent child seeds from one parent seed."""
+    rng = np.random.default_rng(seed)
+    return [int(s) for s in rng.integers(0, 2**63 - 1, size=n)]

@@ -1,0 +1,209 @@
+"""Tests for the B-tree adjacency backend (Section VII future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTreeArena, BTreeGraph
+from repro.btree.tree import NODE_KEYS
+from tests.conftest import structure_edges, structure_state
+
+
+def check_tree_invariants(arena, tree):
+    """Sorted leaves, node occupancy bounds, consistent count."""
+    keys, _ = arena.items_sorted(tree)
+    assert np.all(np.diff(keys) > 0)  # strictly ascending, unique
+    assert keys.size == arena.count(tree)
+    root = int(arena.root[tree])
+    if root == -1:
+        return
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        nk = int(arena._num_keys.data[node])
+        assert 0 <= nk <= NODE_KEYS
+        row = arena._keys.data[node, :nk]
+        assert np.all(np.diff(row) > 0)
+        if not arena._is_leaf.data[node]:
+            assert nk >= 1
+            stack.extend(int(c) for c in arena._children.data[node, : nk + 1])
+
+
+class TestBPlusTreeArena:
+    def test_insert_search(self):
+        arena = BPlusTreeArena(2)
+        assert arena.insert_one(0, 5, 50)
+        assert not arena.insert_one(0, 5, 51)  # replace
+        found, val = arena.search_one(0, 5)
+        assert found and val == 51
+        assert not arena.search_one(0, 6)[0]
+        assert not arena.search_one(1, 5)[0]  # separate trees
+
+    def test_split_chain(self):
+        """Enough keys to force multi-level splits."""
+        arena = BPlusTreeArena(1)
+        keys = np.arange(500)
+        for k in keys.tolist():
+            assert arena.insert_one(0, k, k * 2)
+        check_tree_invariants(arena, 0)
+        got, vals = arena.items_sorted(0)
+        assert np.array_equal(got, keys)
+        assert np.array_equal(vals, keys * 2)
+
+    def test_random_order_insertion(self, rng):
+        arena = BPlusTreeArena(1)
+        keys = rng.permutation(300)
+        for k in keys.tolist():
+            arena.insert_one(0, int(k), int(k))
+        check_tree_invariants(arena, 0)
+        got, _ = arena.items_sorted(0)
+        assert np.array_equal(got, np.arange(300))
+
+    def test_delete(self):
+        arena = BPlusTreeArena(1)
+        for k in range(100):
+            arena.insert_one(0, k, k)
+        assert arena.delete_one(0, 50)
+        assert not arena.delete_one(0, 50)
+        assert not arena.search_one(0, 50)[0]
+        assert arena.count(0) == 99
+        check_tree_invariants(arena, 0)
+
+    def test_range_query(self, rng):
+        arena = BPlusTreeArena(1)
+        keys = rng.choice(1000, size=200, replace=False)
+        for k in keys.tolist():
+            arena.insert_one(0, int(k), int(k) + 1)
+        lo, hi = 100, 700
+        got, vals = arena.range_query(0, lo, hi)
+        expected = np.sort(keys[(keys >= lo) & (keys < hi)])
+        assert np.array_equal(got, expected)
+        assert np.array_equal(vals, expected + 1)
+
+    def test_range_query_empty(self):
+        arena = BPlusTreeArena(1)
+        got, _ = arena.range_query(0, 0, 10)
+        assert got.size == 0
+        arena.insert_one(0, 5, 0)
+        got, _ = arena.range_query(0, 10, 5)  # inverted bounds
+        assert got.size == 0
+
+    def test_destroy_tree_frees_nodes(self):
+        arena = BPlusTreeArena(1)
+        for k in range(200):
+            arena.insert_one(0, k, k)
+        before = arena.num_allocated_nodes
+        assert before > 1
+        arena.destroy_tree(0)
+        assert arena.num_allocated_nodes == 0
+        assert arena.count(0) == 0
+        # Nodes are recycled.
+        arena.insert_one(0, 1, 1)
+        assert arena.num_allocated_nodes == 1
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 200)), max_size=250))
+    @settings(max_examples=40, deadline=None)
+    def test_property_vs_dict(self, ops):
+        arena = BPlusTreeArena(1)
+        ref = {}
+        for is_insert, key in ops:
+            if is_insert:
+                assert arena.insert_one(0, key, key % 7) == (key not in ref)
+                ref[key] = key % 7
+            else:
+                assert arena.delete_one(0, key) == (key in ref)
+                ref.pop(key, None)
+        got, vals = arena.items_sorted(0)
+        assert dict(zip(got.tolist(), vals.tolist())) == ref
+        check_tree_invariants(arena, 0)
+
+
+class TestBTreeGraph:
+    def test_basic_semantics(self):
+        g = BTreeGraph(8)
+        assert g.insert_edges([0, 0, 1], [1, 1, 0], weights=[3, 4, 5]) == 2
+        assert structure_state(g) == {(0, 1): 4, (1, 0): 5}
+        assert g.delete_edges([0], [1]) == 1
+        assert g.num_edges() == 1
+
+    def test_self_loops_dropped(self):
+        g = BTreeGraph(4)
+        assert g.insert_edges([2], [2]) == 0
+
+    def test_sorted_neighbors_free(self, rng):
+        g = BTreeGraph(50)
+        dst = rng.choice(50, size=30, replace=False)
+        dst = dst[dst != 7]
+        g.insert_edges(np.full(dst.size, 7), dst)
+        got, _ = g.neighbors_sorted(7)
+        assert np.array_equal(got, np.sort(dst))
+
+    def test_neighbor_range(self, rng):
+        g = BTreeGraph(100)
+        dst = np.arange(1, 90, 3)
+        g.insert_edges(np.zeros(dst.size, np.int64), dst)
+        got = g.neighbor_range(0, 10, 40)
+        assert np.array_equal(got, dst[(dst >= 10) & (dst < 40)])
+
+    def test_randomized_vs_model(self, rng, dict_graph):
+        n = 60
+        g = BTreeGraph(n)
+        for _ in range(8):
+            m = int(rng.integers(20, 200))
+            src, dst = rng.integers(0, n, m), rng.integers(0, n, m)
+            w = rng.integers(0, 50, m)
+            assert g.insert_edges(src, dst, w) == dict_graph.insert(src, dst, w)
+            k = int(rng.integers(5, 100))
+            ds, dd = rng.integers(0, n, k), rng.integers(0, n, k)
+            assert g.delete_edges(ds, dd) == dict_graph.delete(ds, dd)
+        assert structure_state(g) == dict_graph.edges()
+        qs, qd = rng.integers(0, n, 200), rng.integers(0, n, 200)
+        got = g.edge_exists(qs, qd)
+        ref = np.array(
+            [s in dict_graph.adj and d in dict_graph.adj[s] for s, d in zip(qs, qd)]
+        )
+        assert np.array_equal(got, ref)
+
+    def test_vertex_deletion(self, rng, dict_graph):
+        n = 40
+        g = BTreeGraph(n)
+        src = rng.integers(0, n, 300)
+        dst = rng.integers(0, n, 300)
+        both_s = np.concatenate([src, dst])
+        both_d = np.concatenate([dst, src])
+        g.insert_edges(both_s, both_d)
+        dict_graph.insert(both_s, both_d)
+        g.delete_vertices([3, 9])
+        dict_graph.delete_vertex_undirected([3, 9])
+        assert structure_edges(g) == dict_graph.edge_set()
+
+    def test_sorted_adjacency_is_sorted(self, rng):
+        g = BTreeGraph(30)
+        g.insert_edges(rng.integers(0, 30, 400), rng.integers(0, 30, 400))
+        row_ptr, col = g.sorted_adjacency()
+        for v in range(30):
+            seg = col[row_ptr[v] : row_ptr[v + 1]]
+            assert np.all(np.diff(seg) > 0)
+
+    def test_triangle_count_without_resort(self, rng):
+        """The B-tree's sorted view feeds sorted-intersection TC with no
+        Table VIII sort pass."""
+        import networkx as nx
+
+        from repro.analytics import triangle_count_sorted
+        from repro.datasets import rgg_graph
+
+        coo = rgg_graph(150, 8.0, seed=3)
+        g = BTreeGraph(coo.num_vertices)
+        g.bulk_build(coo)
+        G = nx.Graph()
+        G.add_edges_from(zip(coo.src.tolist(), coo.dst.tolist()))
+        row_ptr, col = g.sorted_adjacency()
+        assert triangle_count_sorted(row_ptr, col) == sum(nx.triangles(G).values()) // 3
+
+    def test_degree_and_memory(self):
+        g = BTreeGraph(8)
+        g.insert_edges([0, 0, 1], [1, 2, 2])
+        assert g.degree([0, 1, 2]).tolist() == [2, 1, 0]
+        assert g.allocated_bytes >= 128

@@ -1,0 +1,136 @@
+"""Tests for vertex insertion and deletion (Section IV-D, Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro import DynamicGraph
+from repro.gpusim.counters import counting
+from repro.util.errors import ValidationError
+from tests.conftest import structure_edges
+
+
+class TestVertexInsertion:
+    def test_grows_dictionary(self):
+        g = DynamicGraph(num_vertices=4)
+        g.insert_vertices([10, 11])
+        assert g.vertex_capacity >= 12
+        g.insert_edges([10], [11], weights=[1])
+        assert g.edge_exists([10], [11])[0]
+
+    def test_growth_preserves_existing_edges(self):
+        g = DynamicGraph(num_vertices=4)
+        g.insert_edges([0, 1], [1, 2], weights=[5, 6])
+        before = structure_edges(g)
+        g.insert_vertices([100])
+        assert structure_edges(g) == before
+        found, w = g.edge_weights([0], [1])
+        assert found[0] and w[0] == 5
+
+    def test_expected_degree_sizes_buckets(self):
+        g = DynamicGraph(num_vertices=64, weighted=False)
+        g.insert_vertices([1], expected_degree=[300])
+        g.insert_vertices([2])  # no connectivity info: one bucket
+        arena = g._dict.arena
+        assert int(arena.table_buckets[1]) > 1
+        assert int(arena.table_buckets[2]) == 1
+
+    def test_negative_vertex_rejected(self):
+        g = DynamicGraph(num_vertices=4)
+        with pytest.raises(ValueError):
+            g.insert_vertices([-1])
+
+    def test_empty_ok(self):
+        g = DynamicGraph(num_vertices=4)
+        g.insert_vertices([])
+
+
+class TestVertexDeletionUndirected:
+    def build(self, rng, n=80):
+        g = DynamicGraph(num_vertices=n, directed=False, weighted=False)
+        src = rng.integers(0, n, 600)
+        dst = rng.integers(0, n, 600)
+        g.insert_edges(src, dst)
+        return g
+
+    def test_deleted_vertex_has_no_edges(self, rng):
+        g = self.build(rng)
+        g.delete_vertices([3, 7])
+        assert g.degree([3, 7]).tolist() == [0, 0]
+        dst, _ = g.neighbors(3)
+        assert dst.size == 0
+
+    def test_no_false_positives_after_delete(self, rng):
+        """Paper requirement: 'no edge query involving u may have a false
+        positive result'."""
+        g = self.build(rng)
+        g.delete_vertices([5])
+        n = g.vertex_capacity
+        qs = np.concatenate([np.full(n, 5), np.arange(n)])
+        qd = np.concatenate([np.arange(n), np.full(n, 5)])
+        assert not g.edge_exists(qs, qd).any()
+
+    def test_matches_reference_model(self, rng, dict_graph):
+        n = 80
+        g = DynamicGraph(num_vertices=n, directed=False, weighted=False)
+        src = rng.integers(0, n, 600)
+        dst = rng.integers(0, n, 600)
+        g.insert_edges(src, dst)
+        both_s = np.concatenate([src, dst])
+        both_d = np.concatenate([dst, src])
+        dict_graph.insert(both_s, both_d)
+        doomed = [0, 13, 42, 79]
+        removed = g.delete_vertices(doomed)
+        expected_removed = dict_graph.delete_vertex_undirected(doomed)
+        assert removed == expected_removed
+        assert structure_edges(g) == dict_graph.edge_set()
+        assert g.num_edges() == dict_graph.num_edges()
+
+    def test_overflow_slabs_freed(self, rng):
+        g = DynamicGraph(num_vertices=200, directed=False, weighted=False)
+        # A hub with >30 neighbors overflows its single base slab.
+        others = np.arange(1, 120, dtype=np.int64)
+        g.insert_edges(np.zeros(others.size, np.int64), others)
+        with counting() as delta:
+            g.delete_vertices([0])
+        assert delta["slabs_freed"] > 0
+
+    def test_reinsert_after_delete(self, rng):
+        g = self.build(rng)
+        g.delete_vertices([2])
+        assert g.insert_edges([2], [3]) == 2  # undirected: both directions
+        assert g.edge_exists([2], [3])[0] and g.edge_exists([3], [2])[0]
+
+
+class TestVertexDeletionDirected:
+    def test_incoming_edges_also_removed(self, rng, dict_graph):
+        n = 60
+        g = DynamicGraph(num_vertices=n, weighted=False)
+        src = rng.integers(0, n, 500)
+        dst = rng.integers(0, n, 500)
+        g.insert_edges(src, dst)
+        dict_graph.insert(src, dst)
+        doomed = [1, 30]
+        g.delete_vertices(doomed)
+        # Reference: drop rows and all references.
+        for v in doomed:
+            dict_graph.adj.pop(v, None)
+        for row in dict_graph.adj.values():
+            for v in doomed:
+                row.pop(v, None)
+        assert structure_edges(g) == dict_graph.edge_set()
+
+    def test_out_of_range_rejected(self):
+        g = DynamicGraph(num_vertices=4)
+        with pytest.raises(ValidationError):
+            g.delete_vertices([9])
+
+    def test_empty_ok(self):
+        g = DynamicGraph(num_vertices=4)
+        assert g.delete_vertices([]) == 0
+
+    def test_active_vertex_tracking(self, rng):
+        g = DynamicGraph(num_vertices=10, weighted=False)
+        g.insert_edges([0, 2], [1, 3])
+        assert g.num_active_vertices() == 4
+        g.delete_vertices([0])
+        assert g.num_active_vertices() == 3

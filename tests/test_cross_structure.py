@@ -1,0 +1,71 @@
+"""Cross-structure equivalence: all four dynamic structures, one op stream.
+
+The bench harness compares structures on identical inputs, which is only
+meaningful if they implement identical *semantics*.  This property test
+runs a random insert/delete stream through ours, Hornet, faimGraph, and
+GPMA and requires identical final edge sets and edge counts at every step.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import STRUCTURES, make_structure
+from tests.conftest import structure_edges
+
+N = 40
+
+op_stream = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.lists(
+            st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)), max_size=60
+        ),
+    ),
+    max_size=8,
+)
+
+
+@given(op_stream)
+@settings(max_examples=30, deadline=None)
+def test_all_structures_agree(op_list):
+    graphs = {name: make_structure(name, N, weighted=False) for name in STRUCTURES}
+    ref: set[tuple[int, int]] = set()
+    for op, pairs in op_list:
+        if not pairs:
+            continue
+        src = np.array([p[0] for p in pairs])
+        dst = np.array([p[1] for p in pairs])
+        if op == "insert":
+            expected_delta = {(s, d) for s, d in pairs if s != d} - ref
+            ref |= {(s, d) for s, d in pairs if s != d}
+        else:
+            expected_delta = {(s, d) for s, d in pairs} & ref
+            ref -= set(pairs)
+        for name, g in graphs.items():
+            if op == "insert":
+                added = g.insert_edges(src, dst)
+                assert added == len(expected_delta), (name, op)
+            else:
+                removed = g.delete_edges(src, dst)
+                assert removed == len(expected_delta), (name, op)
+            assert structure_edges(g) == ref, (name, op)
+            assert g.num_edges() == len(ref), name
+
+
+@given(op_stream)
+@settings(max_examples=20, deadline=None)
+def test_edge_exists_agrees(op_list):
+    graphs = {name: make_structure(name, N, weighted=False) for name in STRUCTURES}
+    rng = np.random.default_rng(0)
+    for op, pairs in op_list:
+        if not pairs:
+            continue
+        src = np.array([p[0] for p in pairs])
+        dst = np.array([p[1] for p in pairs])
+        for g in graphs.values():
+            (g.insert_edges if op == "insert" else g.delete_edges)(src, dst)
+    qs = rng.integers(0, N, 100)
+    qd = rng.integers(0, N, 100)
+    answers = [graphs[name].edge_exists(qs, qd).tolist() for name in STRUCTURES]
+    assert all(a == answers[0] for a in answers)

@@ -1,0 +1,83 @@
+"""Smoke tests: every example script runs, and the bench runner works.
+
+Examples are the public face of the library; a refactor that breaks one
+should fail CI, not a user.  The slower examples run with reduced work via
+monkeypatched dataset sizes where needed; the quick ones run as-is.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "inserted 4 unique edges" in out
+    assert "exported snapshot" in out
+
+
+def test_checkpointing_example_runs(capsys):
+    run_example("checkpointing_and_backends.py")
+    out = capsys.readouterr().out
+    assert "restored checkpoint reproduces SSSP exactly" in out
+    assert "range query" in out
+
+
+@pytest.mark.slow
+def test_streaming_example_runs(capsys):
+    run_example("streaming_social_network.py")
+    out = capsys.readouterr().out
+    assert "cumulative speedup" in out
+
+
+@pytest.mark.slow
+def test_road_example_runs(capsys):
+    run_example("road_network_maintenance.py")
+    out = capsys.readouterr().out
+    assert "after tombstone flush: 0 tombstones remain" in out
+
+
+@pytest.mark.slow
+def test_load_factor_example_runs(capsys):
+    run_example("load_factor_tuning.py")
+    out = capsys.readouterr().out
+    assert "best query performance" in out
+
+
+class TestRunner:
+    def test_single_artifact(self, capsys):
+        from repro.bench.runner import main
+
+        assert main(["t8"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VIII" in out
+        assert "luxembourg_osm" in out
+
+    def test_quick_figure(self, capsys):
+        from repro.bench.runner import main
+
+        # Shrink the sweep for CI speed.
+        import repro.bench.figures as F
+
+        old = F.EDGE_FACTORS, F.LOAD_FACTORS
+        F.EDGE_FACTORS, F.LOAD_FACTORS = [16], [0.7, 3.0]
+        try:
+            assert main(["f2", "--quick"]) == 0
+        finally:
+            F.EDGE_FACTORS, F.LOAD_FACTORS = old
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_unknown_artifact(self, capsys):
+        from repro.bench.runner import main
+
+        assert main(["t99"]) == 2

@@ -1,0 +1,139 @@
+"""Tests for graph I/O (MatrixMarket, edge lists, NPZ snapshots)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.coo import COO
+from repro.io import (
+    load_npz,
+    read_edge_list,
+    read_matrix_market,
+    save_npz,
+    write_edge_list,
+    write_matrix_market,
+)
+from repro.util.errors import ValidationError
+
+
+def pairs(coo):
+    return sorted(zip(coo.src.tolist(), coo.dst.tolist()))
+
+
+class TestMatrixMarket:
+    def test_roundtrip_weighted(self, tmp_path):
+        coo = COO([0, 1, 4], [2, 0, 3], num_vertices=5, weights=[7, 8, 9])
+        path = tmp_path / "g.mtx"
+        write_matrix_market(path, coo, comment="test graph")
+        back = read_matrix_market(path)
+        assert pairs(back) == pairs(coo)
+        assert back.weights.tolist() == [7, 8, 9]
+        assert back.num_vertices == 5
+
+    def test_roundtrip_pattern(self, tmp_path):
+        coo = COO([0, 1], [1, 0], num_vertices=3)
+        path = tmp_path / "p.mtx"
+        write_matrix_market(path, coo)
+        back = read_matrix_market(path)
+        assert back.weights is None
+        assert pairs(back) == pairs(coo)
+
+    def test_symmetric_mirroring(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "% comment\n"
+            "3 3 3\n"
+            "2 1\n"
+            "3 1\n"
+            "2 2\n"
+        )
+        coo = read_matrix_market(io.StringIO(text))
+        # Off-diagonal entries mirrored; the diagonal one is not.
+        assert pairs(coo) == [(0, 1), (0, 2), (1, 0), (1, 1), (2, 0)]
+
+    def test_real_field_rounded(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 2 3.7\n"
+        )
+        coo = read_matrix_market(io.StringIO(text))
+        assert coo.weights.tolist() == [4]
+
+    def test_bad_header(self):
+        with pytest.raises(ValidationError):
+            read_matrix_market(io.StringIO("not a header\n1 1 0\n"))
+
+    def test_unsupported_symmetry(self):
+        with pytest.raises(ValidationError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n")
+            )
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        coo = COO([5, 0], [1, 3], num_vertices=6, weights=[2, 4])
+        path = tmp_path / "g.txt"
+        write_edge_list(path, coo)
+        back = read_edge_list(path)
+        assert pairs(back) == pairs(coo)
+        assert sorted(back.weights.tolist()) == [2, 4]
+
+    def test_comments_and_blank_lines(self):
+        text = "# SNAP header\n\n0 1\n% other comment\n2\t3\n"
+        coo = read_edge_list(io.StringIO(text))
+        assert pairs(coo) == [(0, 1), (2, 3)]
+        assert coo.weights is None
+
+    def test_explicit_num_vertices(self):
+        coo = read_edge_list(io.StringIO("0 1\n"), num_vertices=10)
+        assert coo.num_vertices == 10
+
+    def test_empty_file(self):
+        coo = read_edge_list(io.StringIO("# nothing\n"))
+        assert coo.num_edges == 0
+
+    def test_malformed_line(self):
+        with pytest.raises(ValidationError):
+            read_edge_list(io.StringIO("7\n"))
+
+
+class TestNpz:
+    def test_roundtrip_weighted(self, tmp_path, rng):
+        coo = COO(
+            rng.integers(0, 50, 200),
+            rng.integers(0, 50, 200),
+            50,
+            weights=rng.integers(0, 9, 200),
+        )
+        path = tmp_path / "snap.npz"
+        save_npz(path, coo)
+        back = load_npz(path)
+        assert np.array_equal(back.src, coo.src)
+        assert np.array_equal(back.dst, coo.dst)
+        assert np.array_equal(back.weights, coo.weights)
+        assert back.num_vertices == 50
+
+    def test_roundtrip_unweighted(self, tmp_path):
+        coo = COO([0], [1], num_vertices=4)
+        path = tmp_path / "snap.npz"
+        save_npz(path, coo)
+        assert load_npz(path).weights is None
+
+    def test_graph_checkpoint_cycle(self, tmp_path, rng):
+        """Full cycle: dynamic graph -> snapshot -> disk -> rebuild."""
+        from repro import DynamicGraph
+
+        g = DynamicGraph(40)
+        g.insert_edges(rng.integers(0, 40, 300), rng.integers(0, 40, 300),
+                       rng.integers(0, 9, 300))
+        path = tmp_path / "ckpt.npz"
+        save_npz(path, g.export_coo())
+        g2 = DynamicGraph(40)
+        g2.bulk_build(load_npz(path))
+        a, b = g.export_coo(), g2.export_coo()
+        assert sorted(zip(a.src.tolist(), a.dst.tolist(), a.weights.tolist())) == sorted(
+            zip(b.src.tolist(), b.dst.tolist(), b.weights.tolist())
+        )

@@ -1,0 +1,258 @@
+"""Tests for the multi-table slab arena: lifecycle, kernels, memory."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import counting
+from repro.slabhash.arena import SlabArena
+from repro.slabhash.constants import (
+    EMPTY_KEY,
+    NULL_SLAB,
+    SLAB_KEY_CAPACITY,
+    SLAB_KV_CAPACITY,
+    TOMBSTONE_KEY,
+)
+from repro.slabhash.stats import chain_lengths, compute_stats, live_counts
+from repro.util.errors import ValidationError
+
+
+def make_arena(num_tables=8, weighted=True, buckets=2):
+    arena = SlabArena(num_tables, weighted=weighted)
+    ids = np.arange(num_tables)
+    arena.create_tables(ids, np.full(num_tables, buckets))
+    return arena
+
+
+class TestLifecycle:
+    def test_create_tables_contiguous_bases(self):
+        arena = SlabArena(3, weighted=False)
+        arena.create_tables(np.array([0, 1, 2]), np.array([2, 3, 1]))
+        bases = arena.table_base
+        # Buckets are carved from one contiguous reservation.
+        assert bases[1] == bases[0] + 2
+        assert bases[2] == bases[1] + 3
+
+    def test_create_existing_rejected(self):
+        arena = make_arena()
+        with pytest.raises(ValidationError):
+            arena.create_tables(np.array([0]), np.array([1]))
+
+    def test_zero_buckets_rejected(self):
+        arena = SlabArena(2, weighted=True)
+        with pytest.raises(ValidationError):
+            arena.create_tables(np.array([0]), np.array([0]))
+
+    def test_grow_tables(self):
+        arena = make_arena(4)
+        arena.insert(np.array([1]), np.array([77]), np.array([5]))
+        arena.grow_tables(16)
+        assert arena.num_tables == 16
+        found, vals = arena.search(np.array([1]), np.array([77]))
+        assert found[0] and vals[0] == 5
+        assert not arena.has_table(np.array([12]))[0]
+
+    def test_buckets_for(self):
+        out = SlabArena.buckets_for([0, 1, 15, 16, 150], 0.7, 15)
+        # ceil(d / 10.5), minimum 1
+        assert out.tolist() == [1, 1, 2, 2, 15]
+
+
+class TestKernels:
+    def test_insert_search_roundtrip_across_tables(self):
+        arena = make_arena(10)
+        t = np.repeat(np.arange(10), 20)
+        k = np.tile(np.arange(20), 10)
+        v = np.arange(200)
+        added = arena.insert(t, k, v)
+        assert added.sum() == 200  # same key in different tables is distinct
+        found, vals = arena.search(t, k)
+        assert found.all() and np.array_equal(vals, v)
+
+    def test_search_missing_table(self):
+        arena = SlabArena(4, weighted=True)
+        arena.create_tables(np.array([0]), np.array([1]))
+        found, _ = arena.search(np.array([3]), np.array([1]))
+        assert not found[0]
+
+    def test_insert_missing_table_rejected(self):
+        arena = SlabArena(4, weighted=True)
+        with pytest.raises(ValidationError):
+            arena.insert(np.array([2]), np.array([1]), np.array([0]))
+
+    def test_delete_missing_table_is_noop(self):
+        arena = SlabArena(4, weighted=True)
+        removed = arena.delete(np.array([2]), np.array([1]))
+        assert not removed[0]
+
+    def test_batch_dedup_last_wins(self):
+        arena = make_arena(2)
+        added = arena.insert(
+            np.array([0, 0, 0]), np.array([5, 5, 5]), np.array([1, 2, 3])
+        )
+        assert added.sum() == 1
+        _, vals = arena.search(np.array([0]), np.array([5]))
+        assert vals[0] == 3
+
+    def test_duplicate_deletes_count_once(self):
+        arena = make_arena(2)
+        arena.insert(np.array([0]), np.array([5]), np.array([1]))
+        removed = arena.delete(np.array([0, 0]), np.array([5, 5]))
+        assert removed.sum() == 1
+
+    def test_iterate(self):
+        arena = make_arena(3)
+        arena.insert(np.array([0, 0, 2]), np.array([1, 2, 9]), np.array([5, 6, 7]))
+        owners, keys, vals = arena.iterate(np.array([0, 2]))
+        got = sorted(zip(owners.tolist(), keys.tolist(), vals.tolist()))
+        assert got == [(0, 1, 5), (0, 2, 6), (1, 9, 7)]
+
+    def test_empty_batches(self):
+        arena = make_arena(2)
+        assert arena.insert([], [], []).size == 0
+        assert arena.delete([], []).size == 0
+        found, vals = arena.search([], [])
+        assert found.size == 0 and vals.size == 0
+
+    def test_key_range_checked(self):
+        arena = make_arena(2)
+        with pytest.raises(ValidationError):
+            arena.insert(np.array([0]), np.array([EMPTY_KEY]), np.array([0]))
+        with pytest.raises(ValidationError):
+            arena.insert(np.array([0]), np.array([TOMBSTONE_KEY]), np.array([0]))
+
+    def test_set_arena_has_no_values(self):
+        arena = SlabArena(2, weighted=False)
+        arena.create_tables(np.array([0]), np.array([1]))
+        arena.insert(np.array([0]), np.array([3]))
+        with pytest.raises(ValidationError):
+            _ = arena.pool.values
+
+
+class TestMemory:
+    def test_overflow_allocates_slabs(self):
+        arena = SlabArena(1, weighted=False)
+        arena.create_tables(np.array([0]), np.array([1]))
+        base_allocated = arena.pool.num_allocated
+        arena.insert(np.zeros(100, np.int64), np.arange(100))
+        assert arena.pool.num_allocated > base_allocated
+
+    def test_clear_tables_frees_overflow_keeps_base(self):
+        arena = SlabArena(1, weighted=False)
+        arena.create_tables(np.array([0]), np.array([2]))
+        arena.insert(np.zeros(200, np.int64), np.arange(200))
+        with counting() as delta:
+            arena.clear_tables(np.array([0]))
+        assert delta["slabs_freed"] > 0
+        assert arena.pool.num_allocated == 2  # just the base slabs
+        owners, keys, _ = arena.iterate(np.array([0]))
+        assert keys.size == 0
+        # Table is reusable after clearing.
+        arena.insert(np.array([0]), np.array([9]))
+        found, _ = arena.search(np.array([0]), np.array([9]))
+        assert found[0]
+
+    def test_freed_slabs_recycled(self):
+        arena = SlabArena(1, weighted=False)
+        arena.create_tables(np.array([0]), np.array([1]))
+        arena.insert(np.zeros(200, np.int64), np.arange(200))
+        bump_after_fill = arena.pool._bump
+        arena.clear_tables(np.array([0]))
+        arena.insert(np.zeros(200, np.int64), np.arange(200))
+        # Refilling reuses recycled slabs instead of fresh bump space.
+        assert arena.pool._bump == bump_after_fill
+
+    def test_allocated_bytes(self):
+        arena = make_arena(2, buckets=3)
+        assert arena.pool.allocated_bytes == 2 * 3 * 128
+
+
+class TestStats:
+    def test_live_counts_and_chains(self):
+        arena = SlabArena(3, weighted=False)
+        arena.create_tables(np.arange(3), np.array([1, 1, 1]))
+        arena.insert(np.zeros(45, np.int64), np.arange(45))  # 45 keys: 2 slabs
+        arena.insert(np.full(5, 2, np.int64), np.arange(5))
+        ids = np.arange(3)
+        assert live_counts(arena, ids).tolist() == [45, 0, 5]
+        chains = chain_lengths(arena, ids)
+        assert chains[0] == 2 and chains[2] == 1
+
+    def test_compute_stats_utilization(self):
+        arena = SlabArena(1, weighted=False)
+        arena.create_tables(np.array([0]), np.array([1]))
+        arena.insert(np.zeros(SLAB_KEY_CAPACITY, np.int64), np.arange(SLAB_KEY_CAPACITY))
+        st = compute_stats(arena, np.array([0]))
+        assert st.memory_utilization == pytest.approx(1.0)
+        assert st.live_entries == SLAB_KEY_CAPACITY
+        assert st.num_slabs == 1
+        assert st.mean_bucket_load == pytest.approx(1.0)
+
+    def test_tombstones_counted(self):
+        arena = make_arena(1, buckets=1)
+        arena.insert(np.zeros(10, np.int64), np.arange(10), np.arange(10))
+        arena.delete(np.zeros(4, np.int64), np.arange(4))
+        st = compute_stats(arena, np.array([0]))
+        assert st.tombstones == 4
+        assert st.live_entries == 6
+
+
+class TestTombstoneSemantics:
+    def test_tombstones_not_overwritten(self):
+        """Inserts append past tombstones; lanes are reclaimed only by an
+        explicit flush (Section IV-C2)."""
+        arena = SlabArena(1, weighted=False)
+        arena.create_tables(np.array([0]), np.array([1]))
+        arena.insert(np.zeros(10, np.int64), np.arange(10))
+        arena.delete(np.zeros(5, np.int64), np.arange(5))
+        arena.insert(np.zeros(5, np.int64), np.arange(100, 105))
+        base = int(arena.table_base[0])
+        row = arena.pool.keys[base]
+        # The first five lanes are tombstones, not the new keys.
+        assert (row[:5] == np.uint32(TOMBSTONE_KEY)).all()
+        owners, keys, _ = arena.iterate(np.array([0]))
+        assert sorted(keys.tolist()) == [5, 6, 7, 8, 9, 100, 101, 102, 103, 104]
+
+    def test_flush_restores_density(self):
+        arena = SlabArena(1, weighted=True)
+        arena.create_tables(np.array([0]), np.array([1]))
+        arena.insert(np.zeros(30, np.int64), np.arange(30), np.arange(30) * 2)
+        arena.delete(np.zeros(15, np.int64), np.arange(15))
+        arena.flush_tombstones(np.array([0]))
+        st = compute_stats(arena, np.array([0]))
+        assert st.tombstones == 0
+        assert st.live_entries == 15
+        owners, keys, vals = arena.iterate(np.array([0]))
+        assert dict(zip(keys.tolist(), vals.tolist())) == {k: 2 * k for k in range(15, 30)}
+
+
+def check_tail_invariant(arena, table_ids):
+    """Assert 'empties only at chain tails': a slab containing an EMPTY lane
+    terminates its chain's data, and empty lanes form a suffix of it."""
+    slab_ids, _, _ = arena.table_slabs(np.asarray(table_ids))
+    for slab in slab_ids.tolist():
+        row = arena.pool.keys[slab]
+        empty = row == np.uint32(EMPTY_KEY)
+        if empty.any():
+            first = int(np.argmax(empty))
+            assert empty[first:].all(), f"slab {slab}: EMPTY lane not a suffix"
+            nxt = int(arena.pool.next_slab[slab])
+            if nxt != NULL_SLAB:
+                nrow = arena.pool.keys[nxt]
+                assert (nrow == np.uint32(EMPTY_KEY)).all(), (
+                    f"slab {slab}: live data beyond an EMPTY lane"
+                )
+
+
+class TestTailInvariant:
+    def test_after_mixed_workload(self):
+        rng = np.random.default_rng(11)
+        arena = SlabArena(6, weighted=True)
+        arena.create_tables(np.arange(6), np.array([1, 1, 2, 2, 3, 3]))
+        for _ in range(10):
+            t = rng.integers(0, 6, 300)
+            k = rng.integers(0, 200, 300)
+            arena.insert(t, k, rng.integers(0, 50, 300))
+            td = rng.integers(0, 6, 150)
+            kd = rng.integers(0, 200, 150)
+            arena.delete(td, kd)
+            check_tail_invariant(arena, np.arange(6))

@@ -1,0 +1,126 @@
+"""Unit and property tests for the segmented/group-by primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.groupby import (
+    first_occurrence_mask,
+    group_starts,
+    last_occurrence_mask,
+    rank_within_group,
+    segment_lengths_from_starts,
+    segmented_sum,
+    sorted_group_ids,
+)
+
+int_lists = st.lists(st.integers(min_value=-50, max_value=50), max_size=200)
+
+
+class TestSortedGroupIds:
+    def test_example(self):
+        out = sorted_group_ids(np.array([3, 3, 5, 9, 9, 9]))
+        assert out.tolist() == [0, 0, 1, 2, 2, 2]
+
+    def test_empty(self):
+        assert sorted_group_ids(np.array([], dtype=np.int64)).size == 0
+
+    def test_single(self):
+        assert sorted_group_ids(np.array([7])).tolist() == [0]
+
+    @given(int_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_unique_inverse(self, values):
+        arr = np.sort(np.array(values, dtype=np.int64))
+        got = sorted_group_ids(arr)
+        if arr.size:
+            _, expected = np.unique(arr, return_inverse=True)
+            assert np.array_equal(got, expected)
+
+
+class TestGroupStarts:
+    def test_example(self):
+        assert group_starts(np.array([3, 3, 5, 9, 9, 9])).tolist() == [0, 2, 3]
+
+    def test_all_distinct(self):
+        assert group_starts(np.arange(5)).tolist() == [0, 1, 2, 3, 4]
+
+    def test_all_equal(self):
+        assert group_starts(np.zeros(5, dtype=np.int64)).tolist() == [0]
+
+    def test_lengths_roundtrip(self):
+        keys = np.array([1, 1, 2, 4, 4, 4, 9])
+        starts = group_starts(keys)
+        lens = segment_lengths_from_starts(starts, keys.size)
+        assert lens.tolist() == [2, 1, 3, 1]
+        assert int(lens.sum()) == keys.size
+
+
+class TestRankWithinGroup:
+    def test_example(self):
+        got = rank_within_group(np.array([3, 3, 5, 9, 9, 9]))
+        assert got.tolist() == [0, 1, 0, 0, 1, 2]
+
+    def test_empty(self):
+        assert rank_within_group(np.array([], dtype=np.int64)).size == 0
+
+    @given(int_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_rank_bounded_by_group_size(self, values):
+        arr = np.sort(np.array(values, dtype=np.int64))
+        rank = rank_within_group(arr)
+        for key in np.unique(arr):
+            grp = rank[arr == key]
+            assert sorted(grp.tolist()) == list(range(grp.size))
+
+
+class TestSegmentedSum:
+    def test_basic(self):
+        out = segmented_sum(np.array([1, 2, 3, 4]), np.array([0, 1, 0, 2]), 3)
+        assert out.tolist() == [4, 2, 4]
+
+    def test_bool_values(self):
+        out = segmented_sum(np.array([True, False, True]), np.array([0, 0, 1]), 2)
+        assert out.tolist() == [1, 1]
+
+    def test_float_values(self):
+        out = segmented_sum(np.array([0.5, 0.25]), np.array([1, 1]), 2)
+        assert out[1] == pytest.approx(0.75)
+
+
+class TestOccurrenceMasks:
+    def test_last_example(self):
+        keys = np.array([5, 3, 5, 7, 3])
+        mask = last_occurrence_mask(keys)
+        assert mask.tolist() == [False, False, True, True, True]
+
+    def test_first_example(self):
+        keys = np.array([5, 3, 5, 7, 3])
+        mask = first_occurrence_mask(keys)
+        assert mask.tolist() == [True, True, False, True, False]
+
+    def test_empty(self):
+        assert last_occurrence_mask(np.array([], dtype=np.int64)).size == 0
+        assert first_occurrence_mask(np.array([], dtype=np.int64)).size == 0
+
+    @given(int_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_masks_partition_uniques(self, values):
+        arr = np.array(values, dtype=np.int64)
+        last = last_occurrence_mask(arr)
+        first = first_occurrence_mask(arr)
+        n_unique = np.unique(arr).size
+        assert int(last.sum()) == n_unique
+        assert int(first.sum()) == n_unique
+        # The masked keys cover every distinct key exactly once.
+        assert sorted(arr[last].tolist()) == np.unique(arr).tolist()
+        assert sorted(arr[first].tolist()) == np.unique(arr).tolist()
+
+    @given(int_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_last_selects_highest_index(self, values):
+        arr = np.array(values, dtype=np.int64)
+        mask = last_occurrence_mask(arr)
+        for idx in np.flatnonzero(mask):
+            assert not np.any(arr[idx + 1 :] == arr[idx])

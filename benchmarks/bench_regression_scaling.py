@@ -1,0 +1,49 @@
+"""O(batch) scaling guard — per-batch update cost must not scale with |V|.
+
+Locks in the asymptotic win of the hot-path rework: with a fixed batch of
+512 edges, insert throughput at |V| = 1e6 must stay within 2x of the
+throughput at |V| = 1e3 (Section IV-C's "cost proportional to the batch"
+claim, the regime of Tables VI and IX).  The timed loop also polls
+``num_edges()`` / ``num_active_vertices()`` each batch, so any O(|V|)
+aggregate scan re-entering those reads trips the guard too.
+
+Marked ``slow`` (the suite-wide marker) so constrained machines can skip it
+with ``-m 'not slow'``.
+"""
+
+import pytest
+
+from repro.bench.regression import (
+    BATCH_SIZE,
+    DEFAULT_CAPACITIES,
+    measure_update_scaling,
+    throughput_ratio,
+)
+
+MAX_RATIO = 2.0
+
+
+@pytest.mark.slow
+def test_update_throughput_independent_of_capacity():
+    points = measure_update_scaling()
+    ratio = throughput_ratio(points)
+    detail = ", ".join(
+        f"|V|={p.capacity:,}: {p.updates_per_sec / 1e6:.2f} M/s" for p in points
+    )
+    assert ratio <= MAX_RATIO, (
+        f"small/large throughput ratio {ratio:.2f} exceeds {MAX_RATIO} ({detail}); "
+        "an O(|V|) term has re-entered the per-batch update path"
+    )
+
+
+@pytest.mark.slow
+def test_streaming_updates_wall_clock(benchmark):
+    """Wall-clock anchor for the largest capacity (pytest-benchmark entry)."""
+    largest = DEFAULT_CAPACITIES[-1]
+
+    def op():
+        measure_update_scaling(
+            capacities=(largest,), batch_size=BATCH_SIZE, num_batches=4, repeats=1
+        )
+
+    benchmark.pedantic(op, rounds=2)

@@ -1,0 +1,170 @@
+"""Asymptotic-scaling regression harness for the batched-update hot path.
+
+The paper's central claim is that a batched update costs O(batch + touched
+slabs), independent of how large the graph's vertex dictionary is.  A
+regression that sneaks a capacity-sized scan into the per-batch path (a
+``bincount(..., minlength=|V|)`` delta, a full-array ``sum()`` inside
+``num_edges()``) passes every correctness test while silently destroying
+the small-batch streaming regime of Tables VI and IX.  This harness exists
+to catch exactly that: it measures wall-clock updates/sec for a fixed batch
+size at vertex capacities three orders of magnitude apart and asserts the
+throughput ratio stays near 1.
+
+The timed region intentionally includes a ``num_edges()`` and
+``num_active_vertices()`` call per batch — the aggregate reads must be O(1)
+for the guard to hold at |V| = 1e6.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.regression
+
+or via the pytest entry in ``benchmarks/bench_regression_scaling.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.bench.harness import format_table
+from repro.core import DynamicGraph
+
+__all__ = [
+    "ScalingPoint",
+    "DEFAULT_CAPACITIES",
+    "BATCH_SIZE",
+    "measure_update_scaling",
+    "throughput_ratio",
+]
+
+#: Vertex capacities spanning the regimes of Table VI / Table IX.
+DEFAULT_CAPACITIES = (1_000, 100_000, 1_000_000)
+
+#: Fixed small-batch size (the streaming regime the guard protects).
+BATCH_SIZE = 512
+
+
+@dataclass
+class ScalingPoint:
+    """Measured update throughput at one vertex capacity."""
+
+    capacity: int
+    batch_size: int
+    num_batches: int
+    seconds: float
+
+    @property
+    def updates_per_sec(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return (self.batch_size * self.num_batches) / self.seconds
+
+
+def _make_batches(capacity: int, batch_size: int, num_batches: int, seed: int):
+    """Pre-generate all batches so RNG cost stays outside the timed region."""
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            rng.integers(0, capacity, size=batch_size, dtype=np.int64),
+            rng.integers(0, capacity, size=batch_size, dtype=np.int64),
+        )
+        for _ in range(num_batches)
+    ]
+
+
+def _warm(graph: DynamicGraph, batches, capacity: int, batch_size: int, seed: int) -> None:
+    """Untimed setup: register vertices, materialize pages, warm the paths.
+
+    Three distinct warm-ups, all part of setup per the paper's methodology:
+
+    - the batches' source vertices are registered up front (the paper's
+      ``insertVertices``-before-edges pattern), so every capacity measures
+      the same steady-state work — probing existing single-bucket tables —
+      rather than charging table creation only to the sparse large-|V| runs;
+    - the dictionary's ``np.zeros`` arrays are written once to materialize
+      their virtual pages (a long-lived graph has resident counters;
+      first-touch page faults are not per-batch cost);
+    - two throwaway batches exercise the full insert path (slab pool, code
+      caches) before the clock starts.
+    """
+    vd = graph._dict
+    vd.edge_count.fill(0)
+    vd.active.fill(False)
+    vd.arena.table_buckets.fill(0)
+    all_src = np.concatenate([src for src, _ in batches])
+    graph.insert_vertices(np.unique(all_src))
+    for src, dst in _make_batches(capacity, batch_size, 2, seed ^ 0xBEEF):
+        graph.insert_edges(src, dst)
+
+
+def _run_once(capacity: int, batch_size: int, num_batches: int, seed: int) -> float:
+    """One timed streaming run: insert batches, delete a batch, poll sizes."""
+    graph = DynamicGraph(num_vertices=capacity, weighted=False)
+    batches = _make_batches(capacity, batch_size, num_batches, seed)
+    _warm(graph, batches, capacity, batch_size, seed)
+    t0 = perf_counter()
+    for src, dst in batches:
+        graph.insert_edges(src, dst)
+        graph.num_edges()
+        graph.num_active_vertices()
+    # One delete batch keeps the deletion path under the same guard.
+    src, dst = batches[0]
+    graph.delete_edges(src, dst)
+    return perf_counter() - t0
+
+
+def measure_update_scaling(
+    capacities=DEFAULT_CAPACITIES,
+    batch_size: int = BATCH_SIZE,
+    num_batches: int = 16,
+    repeats: int = 3,
+    seed: int = 0x5CA1E,
+) -> list[ScalingPoint]:
+    """Measure updates/sec at each capacity; best-of-``repeats`` wall clock.
+
+    Graph construction and batch generation happen outside the timed
+    region (the paper's methodology: setup is not part of the update cost).
+    """
+    points = []
+    for cap in capacities:
+        best = min(
+            _run_once(int(cap), batch_size, num_batches, seed + r)
+            for r in range(repeats)
+        )
+        points.append(ScalingPoint(int(cap), batch_size, num_batches, best))
+    return points
+
+
+def throughput_ratio(points: list[ScalingPoint]) -> float:
+    """Smallest-capacity throughput over largest-capacity throughput.
+
+    ~1.0 when per-batch cost is capacity-independent; grows without bound
+    if an O(|V|) term re-enters the hot path.  (Ratios below 1 — the large
+    graph being *faster*, e.g. from shorter chains — are fine.)
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two capacities to form a ratio")
+    ordered = sorted(points, key=lambda p: p.capacity)
+    return ordered[0].updates_per_sec / ordered[-1].updates_per_sec
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    points = measure_update_scaling()
+    rows = [
+        [f"{p.capacity:,}", p.batch_size, p.num_batches, p.seconds * 1e3, p.updates_per_sec / 1e6]
+        for p in points
+    ]
+    print(
+        format_table(
+            "Update-throughput scaling (fixed batch size, growing |V|)",
+            ["|V| capacity", "batch", "batches", "wall ms", "M updates/s"],
+            rows,
+        )
+    )
+    print(f"small/large throughput ratio: {throughput_ratio(points):.3f} (target ≤ 2)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -15,6 +15,16 @@ The vectorized pipeline per batch:
    vectorized equivalent of ``popc(ballot(success))`` in Algorithm 1 lines
    9-10.
 
+Complexity contract: every step above is **O(batch + touched slabs)**,
+never O(|V|) — the paper's central claim that batched updates cost
+proportional to the batch, not the graph.  Counter updates are scatter-adds
+over the batch's unique sources (via
+:meth:`repro.core.vertex_dict.VertexDictionary.add_edge_counts` /
+``sub_edge_counts``), which also keep the dictionary's aggregate
+``total_edges`` / ``num_active`` counters current so size queries stay
+O(1).  ``bench/regression.py`` locks this in by asserting that small-batch
+throughput does not degrade as vertex capacity grows.
+
 Weights: the public API accepts integer weights (stored in the 32-bit value
 lanes).  Float weights can be carried by viewing them as uint32 at the
 caller; the examples show this pattern.
@@ -74,10 +84,12 @@ def _insert_prepared(graph, src, dst, w) -> int:
         w = np.zeros(src.shape[0], dtype=np.int64)
     added = vd.arena.insert(src, dst, w if graph.weighted else None)
     if added.any():
-        delta = np.bincount(src[added], minlength=vd.capacity)
-        vd.edge_count += delta
-    vd.active[src] = True
-    vd.active[dst] = True
+        vd.add_edge_counts(src[added])
+    if graph.directed:
+        vd.activate(np.concatenate([src, dst]))
+    else:
+        # The mirrored batch makes dst a permutation of src: one pass covers both.
+        vd.activate(src)
     return int(added.sum())
 
 
@@ -94,6 +106,5 @@ def delete_edges(graph, src, dst) -> int:
         src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
     removed = graph._dict.arena.delete(src, dst)
     if removed.any():
-        delta = np.bincount(src[removed], minlength=graph._dict.capacity)
-        graph._dict.edge_count -= delta
+        graph._dict.sub_edge_counts(src[removed])
     return int(removed.sum())

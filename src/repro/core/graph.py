@@ -26,6 +26,7 @@ from repro.core import vertex_ops as _vertex_ops
 from repro.core.vertex_dict import VertexDictionary
 from repro.slabhash.stats import ArenaStats, compute_stats
 from repro.util.errors import ValidationError
+from repro.util.validation import as_int_array, check_in_range
 
 __all__ = ["DynamicGraph"]
 
@@ -90,17 +91,24 @@ class DynamicGraph:
         return self._dict.capacity
 
     def num_edges(self) -> int:
-        """Exact directed-slot edge count (an undirected edge counts twice)."""
+        """Exact directed-slot edge count (an undirected edge counts twice).
+
+        O(1): reads the incrementally maintained aggregate counter.
+        """
         return self._dict.total_edges()
 
     def num_active_vertices(self) -> int:
         """Vertices that currently participate in at least one edge ever
-        inserted and were not deleted."""
+        inserted and were not deleted.
+
+        O(1): reads the incrementally maintained aggregate counter.
+        """
         return self._dict.num_active()
 
     def degree(self, vertex_ids) -> np.ndarray:
         """Exact out-degree per requested vertex (maintained counters)."""
-        vids = np.atleast_1d(np.asarray(vertex_ids, dtype=np.int64))
+        vids = as_int_array(vertex_ids, "vertex_ids")
+        check_in_range(vids, 0, self.vertex_capacity, "vertex_ids")
         return self._dict.edge_count[vids].copy()
 
     # -- mutation ---------------------------------------------------------------
@@ -121,11 +129,13 @@ class DynamicGraph:
         """Delete vertices and all incident edges (Algorithm 2).
 
         With ``reuse_vertex_ids=True`` the deleted ids enter a recycling
-        queue served by :meth:`allocate_vertex_ids`.
+        queue served by :meth:`allocate_vertex_ids`.  Only ids the deletion
+        actually deactivated are queued: never-active ids and repeat
+        deletions of an already-dead id vend nothing to the recycler.
         """
-        removed = _vertex_ops.delete_vertices(self, vertex_ids)
-        if self._recycler is not None:
-            self._recycler.push(np.unique(np.atleast_1d(np.asarray(vertex_ids, np.int64))))
+        removed, deactivated = _vertex_ops.delete_vertices(self, vertex_ids)
+        if self._recycler is not None and deactivated.size:
+            self._recycler.push(deactivated)
         return removed
 
     def allocate_vertex_ids(self, n: int) -> np.ndarray:
@@ -141,7 +151,7 @@ class DynamicGraph:
                 "construct the graph with reuse_vertex_ids=True to recycle ids"
             )
         ids = self._recycler.allocate_ids(self, n)
-        self._dict.active[ids] = True
+        self._dict.activate(ids)
         return ids
 
     def bulk_build(self, coo: COO) -> int:
@@ -220,14 +230,14 @@ class DynamicGraph:
         if src == dst:
             return False
         self._dict.ensure_tables(np.array([src], dtype=np.int64))
-        self._dict.active[[src, dst]] = True
+        self._dict.activate(np.array([src, dst], dtype=np.int64))
         return self._dict.arena.reference_insert_one(src, dst, weight)
 
     def reference_delete(self, src: int, dst: int) -> bool:
         return self._dict.arena.reference_delete_one(src, dst)
 
     def reference_increment_edge_count(self, src: int, amount: int) -> None:
-        self._dict.edge_count[src] += amount
+        self._dict.increment_edge_count(src, amount)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "map" if self.weighted else "set"

@@ -13,6 +13,11 @@ run as one delete kernel — the same slab traffic without the queue (the
 queue exists to load-balance warps, which a batch kernel gets for free).
 Overflow slabs are freed, base slabs retained, and edge counts zeroed
 (Algorithm 2 lines 18-22).
+
+Like the edge kernels, counter maintenance here is O(batch + touched
+slabs): per-vertex deltas are scatter-adds over the affected sources and
+the dictionary's aggregate counters ride along incrementally (see
+:mod:`repro.core.vertex_dict`).
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpusim.counters import get_counters
+from repro.util.errors import ValidationError
 from repro.util.validation import as_int_array, check_in_range
 
 __all__ = ["insert_vertices", "delete_vertices"]
@@ -37,14 +43,18 @@ def insert_vertices(graph, vertex_ids, expected_degree=None) -> None:
     if vertex_ids.size == 0:
         return
     if vertex_ids.min() < 0:
-        raise ValueError("vertex ids must be non-negative")
+        raise ValidationError("vertex_ids must be non-negative")
     graph._dict.ensure_capacity(int(vertex_ids.max()) + 1)
     graph._dict.ensure_tables(vertex_ids, expected_degree, graph.load_factor)
-    graph._dict.active[vertex_ids] = True
+    graph._dict.activate(vertex_ids)
 
 
-def delete_vertices(graph, vertex_ids) -> int:
-    """Delete vertices and every edge touching them; returns edges removed.
+def delete_vertices(graph, vertex_ids) -> tuple[int, np.ndarray]:
+    """Delete vertices and every edge touching them.
+
+    Returns ``(edges_removed, deactivated)`` where ``deactivated`` holds the
+    unique ids that were actually active before this call — the only ids a
+    recycler may legitimately reuse.
 
     Follows Algorithm 2 for undirected graphs (erase the vertex from each
     neighbour's table via the adjacency iterator).  For directed graphs the
@@ -54,7 +64,7 @@ def delete_vertices(graph, vertex_ids) -> int:
     """
     vertex_ids = as_int_array(vertex_ids, "vertex_ids")
     if vertex_ids.size == 0:
-        return 0
+        return 0, np.empty(0, dtype=np.int64)
     check_in_range(vertex_ids, 0, graph.vertex_capacity, "vertex_ids")
     vertex_ids = np.unique(vertex_ids)
     vd = graph._dict
@@ -73,18 +83,15 @@ def delete_vertices(graph, vertex_ids) -> int:
             doomed_of_entry = vertex_ids[owners]
             removed = vd.arena.delete(neighbors, doomed_of_entry)
             if removed.any():
-                delta = np.bincount(neighbors[removed], minlength=vd.capacity)
-                vd.edge_count -= delta
+                vd.sub_edge_counts(neighbors[removed])
             removed_total += int(removed.sum())
 
     # Free dynamically allocated slabs, reset bases, zero the counts
     # (lines 18-22).
-    own_edges = int(vd.edge_count[vertex_ids].sum())
     vd.arena.clear_tables(vertex_ids)
-    vd.edge_count[vertex_ids] = 0
-    vd.active[vertex_ids] = False
-    removed_total += own_edges
-    return removed_total
+    removed_total += vd.zero_edge_counts(vertex_ids)
+    deactivated = vd.deactivate(vertex_ids)
+    return removed_total, deactivated
 
 
 def _cleanup_references(graph, doomed: np.ndarray) -> int:
@@ -111,6 +118,5 @@ def _cleanup_references(graph, doomed: np.ndarray) -> int:
     srcs = all_ids[owners[hit]]
     removed = vd.arena.delete(srcs, neighbors[hit])
     if removed.any():
-        delta = np.bincount(srcs[removed], minlength=vd.capacity)
-        vd.edge_count -= delta
+        vd.sub_edge_counts(srcs[removed])
     return int(removed.sum())

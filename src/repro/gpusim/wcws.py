@@ -189,13 +189,13 @@ def delete_vertices_reference(graph, vertex_ids: np.ndarray) -> int:
             for lane in range(lane_dst.shape[0]):
                 current_dst = int(lane_dst[lane])  # shuffle broadcast
                 if arena.reference_delete_one(current_dst, warp_vertex):
-                    vd.edge_count[current_dst] -= 1
+                    vd.increment_edge_count(current_dst, -1)
                     removed_total += 1
 
         # Lines 18-20: free dynamically allocated (non-base) slabs; line
         # 22: zero the count.  clear_tables performs exactly that.
-        arena.clear_tables(np.array([warp_vertex], dtype=np.int64))
-        removed_total += int(vd.edge_count[warp_vertex])
-        vd.edge_count[warp_vertex] = 0
-        vd.active[warp_vertex] = False
+        doomed = np.array([warp_vertex], dtype=np.int64)
+        arena.clear_tables(doomed)
+        removed_total += vd.zero_edge_counts(doomed)
+        vd.deactivate(doomed)
     return removed_total

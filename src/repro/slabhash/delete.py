@@ -42,7 +42,8 @@ def delete_batch(arena, table_ids, keys) -> np.ndarray:
     keep = first_occurrence_mask(composite)
     live_idx = np.flatnonzero(keep)
     t = table_ids[live_idx]
-    k = keys[live_idx].astype(KEY_DTYPE)
+    keys_live = keys[live_idx]
+    k = keys_live.astype(KEY_DTYPE)
 
     removed = np.zeros(n, dtype=bool)
 
@@ -52,7 +53,7 @@ def delete_batch(arena, table_ids, keys) -> np.ndarray:
     if active.size == 0:
         return removed
     cur = np.full(live_idx.shape[0], NULL_SLAB, dtype=np.int64)
-    cur[active] = arena.bucket_heads(t[active], keys[live_idx][active])
+    cur[active] = arena.bucket_heads(t[active], keys_live[active])
     pending = active.astype(np.int64)
 
     while pending.size:
@@ -73,8 +74,9 @@ def delete_batch(arena, table_ids, keys) -> np.ndarray:
         rest = np.flatnonzero(~hit_any)
         if rest.size == 0:
             break
-        # A slab with an empty lane terminates the chain's data region:
-        # the key is absent.
+        # A slab with an empty lane terminates the chain's data region: the
+        # key is absent.  Scan the unresolved remainder only, sliced from
+        # this round's gathered rows.
         has_empty = (rows[rest] == KEY_DTYPE(EMPTY_KEY)).any(axis=1)
         cont = rest[~has_empty]
         if cont.size == 0:

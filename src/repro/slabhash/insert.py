@@ -94,10 +94,11 @@ def insert_batch(arena, table_ids, keys, values=None) -> np.ndarray:
     keep = last_occurrence_mask(_composite(table_ids, keys))
     live_idx = np.flatnonzero(keep)
     t = table_ids[live_idx]
-    k = keys[live_idx].astype(KEY_DTYPE)
+    keys_live = keys[live_idx]
+    k = keys_live.astype(KEY_DTYPE)
     v = values[live_idx].astype(VALUE_DTYPE)
 
-    cur = arena.bucket_heads(t, keys[live_idx])
+    cur = arena.bucket_heads(t, keys_live)
     added = np.zeros(n, dtype=bool)
     pending = np.arange(live_idx.shape[0], dtype=np.int64)
 
@@ -121,25 +122,32 @@ def insert_batch(arena, table_ids, keys, values=None) -> np.ndarray:
         rest = np.flatnonzero(~hit_any)
         if rest.size == 0:
             break
+        # One stable sort per round, over the not-yet-placed remainder only
+        # (placed/replaced items never re-enter the sort).
         rest_slabs = cur_p[rest]
         order = np.argsort(rest_slabs, kind="stable")
         rest = rest[order]
         rest_slabs = rest_slabs[order]
         rank = rank_within_group(rest_slabs)
 
+        # Reuse this round's gathered rows for the empty-lane scan instead
+        # of re-reading the pool.
         empty = rows[rest] == KEY_DTYPE(EMPTY_KEY)  # (r, Bc)
         n_empty = empty.sum(axis=1)
         fits = rank < n_empty
 
-        # (2) claim the rank-th empty lane of the shared slab.
+        # (2) claim the rank-th empty lane of the shared slab.  The cumsum
+        # lane selection runs only over the rows that actually fit.
         if fits.any():
-            csum = np.cumsum(empty, axis=1)
-            lane_match = empty & (csum == (rank + 1)[:, None])
+            empty_f = empty[fits]
+            csum = np.cumsum(empty_f, axis=1)
+            lane_match = empty_f & (csum == (rank[fits] + 1)[:, None])
             lanes = lane_match.argmax(axis=1)
             fit_rows = rest[fits]
-            pool.keys[rest_slabs[fits], lanes[fits]] = k[pending[fit_rows]]
+            fit_slabs = rest_slabs[fits]
+            pool.keys[fit_slabs, lanes] = k[pending[fit_rows]]
             if weighted:
-                pool.values[rest_slabs[fits], lanes[fits]] = v[pending[fit_rows]]
+                pool.values[fit_slabs, lanes] = v[pending[fit_rows]]
             counters.slab_writes += int(fit_rows.size)
             added[live_idx[pending[fit_rows]]] = True
 
@@ -154,7 +162,9 @@ def insert_batch(arena, table_ids, keys, values=None) -> np.ndarray:
                 new_ids = pool.allocate(tails.size)
                 pool.next_slab[tails] = new_ids
                 counters.slab_writes += int(tails.size)  # link writes
-                nxt = pool.next_slab[over_slabs]
+                # tails is sorted, so each needing item finds its freshly
+                # linked slab by position — no second next_slab gather.
+                nxt[need] = new_ids[np.searchsorted(tails, over_slabs[need])]
             cur[pending[over]] = nxt
         pending = pending[over] if over.size else pending[:0]
 

@@ -65,6 +65,8 @@ def search_batch(arena, table_ids, keys) -> tuple[np.ndarray, np.ndarray]:
         rest = np.flatnonzero(~hit_any)
         if rest.size == 0:
             break
+        # Empty-lane scan over the unresolved remainder only, sliced from
+        # this round's gathered rows.
         has_empty = (rows[rest] == KEY_DTYPE(EMPTY_KEY)).any(axis=1)
         cont = rest[~has_empty]
         if cont.size == 0:

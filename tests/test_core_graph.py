@@ -44,6 +44,20 @@ class TestBasics:
         g.delete_edges([0], [2])
         assert g.degree([0]).tolist() == [1]
 
+    def test_degree_negative_id_rejected(self):
+        """-1 must raise, not silently wrap to the last dictionary slot."""
+        g = DynamicGraph(num_vertices=6)
+        g.insert_edges([5], [0], weights=[1])
+        with pytest.raises(ValidationError):
+            g.degree([-1])
+
+    def test_degree_out_of_range_rejected(self):
+        g = DynamicGraph(num_vertices=6)
+        with pytest.raises(ValidationError):
+            g.degree([6])
+        with pytest.raises(ValidationError):
+            g.degree(np.array([0, 2, 99]))
+
     def test_neighbors(self):
         g = DynamicGraph(num_vertices=5)
         g.insert_edges([2, 2, 2], [0, 1, 4], weights=[7, 8, 9])

@@ -35,9 +35,12 @@ class TestVertexInsertion:
         assert int(arena.table_buckets[2]) == 1
 
     def test_negative_vertex_rejected(self):
+        """Must be ValidationError, consistent with every other mutation API."""
         g = DynamicGraph(num_vertices=4)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValidationError):
             g.insert_vertices([-1])
+        with pytest.raises(ValidationError):
+            g.insert_vertices([3, -7, 2])
 
     def test_empty_ok(self):
         g = DynamicGraph(num_vertices=4)

@@ -32,6 +32,31 @@ class TestVertexIdRecycling:
         g.delete_vertices([2])
         assert g.allocate_vertex_ids(1).tolist() == [2]  # most recent first
 
+    def test_never_active_ids_not_recycled(self):
+        """Deleting an id that never participated must not feed the queue."""
+        g = DynamicGraph(32, weighted=False, directed=False, reuse_vertex_ids=True)
+        g.insert_edges([1], [2])
+        g.delete_vertices([7, 9])  # 7 and 9 were never active
+        assert len(g._recycler) == 0
+        ids = g.allocate_vertex_ids(1)
+        assert ids.tolist() != [9] and ids.tolist() != [7]
+
+    def test_double_delete_queues_id_once(self):
+        g = DynamicGraph(32, weighted=False, directed=False, reuse_vertex_ids=True)
+        g.insert_edges([1, 2], [5, 6])
+        g.delete_vertices([1])
+        g.delete_vertices([1])  # second delete of a dead id is a no-op
+        assert len(g._recycler) == 1
+        g.delete_vertices([1, 1, 2])  # intra-batch duplicate of a dead id
+        assert len(g._recycler) == 2
+
+    def test_mixed_batch_queues_only_deactivated(self):
+        g = DynamicGraph(32, weighted=False, directed=False, reuse_vertex_ids=True)
+        g.insert_edges([1, 2], [5, 6])
+        g.delete_vertices([1, 20])  # 1 active, 20 never active
+        assert len(g._recycler) == 1
+        assert g.allocate_vertex_ids(1).tolist() == [1]
+
     def test_fresh_ids_when_queue_empty(self):
         g = DynamicGraph(4, weighted=False, reuse_vertex_ids=True)
         g.insert_edges([0, 1], [1, 2])

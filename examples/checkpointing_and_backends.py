@@ -16,8 +16,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.analytics import sssp
-from repro.btree import BTreeGraph
-from repro.core import DynamicGraph
+from repro.api import Graph
 from repro.datasets import delaunay_graph
 from repro.io import load_npz, read_matrix_market, save_npz, write_matrix_market
 
@@ -28,7 +27,7 @@ def main() -> None:
     # Build a weighted delivery network (planar, Delaunay-like).
     net = delaunay_graph(2_000, seed=4)
     weights = rng.integers(1, 50, net.num_edges)  # minutes per leg
-    g = DynamicGraph(net.num_vertices, weighted=True)
+    g = Graph.create("slabhash", num_vertices=net.num_vertices, weighted=True)
     g.insert_edges(net.src, net.dst, weights)
     print(f"network: {net} — {g.num_edges()} directed legs")
 
@@ -55,16 +54,19 @@ def main() -> None:
         assert again.num_edges == snap.num_edges
 
         # Restore into a fresh structure; routing results are identical.
-        restored = DynamicGraph(net.num_vertices, weighted=True)
+        restored = Graph.create("slabhash", num_vertices=net.num_vertices, weighted=True)
         restored.bulk_build(load_npz(tmp / "network.npz"))
         assert np.array_equal(sssp(restored, depot), dist)
         print("restored checkpoint reproduces SSSP exactly")
 
-    # The B-tree backend: sorted adjacency and range queries for free.
-    bt = BTreeGraph(net.num_vertices, weighted=True)
+    # The B-tree backend: sorted adjacency and range queries for free.  The
+    # capability registry tells consumers which backends serve which query.
+    bt = Graph.create("btree", num_vertices=net.num_vertices, weighted=True)
+    assert bt.capabilities.range_queries and bt.capabilities.sorted_neighbors
+    assert not g.capabilities.range_queries  # the hash structure cannot
     bt.bulk_build(snap)
     hub = int(np.argmax(np.bincount(snap.src)))
-    nbrs, _ = bt.neighbors_sorted(hub)
+    nbrs, _ = bt.neighbors(hub)  # ascending, no sort pass (sorted_neighbors)
     lo, hi = int(nbrs[len(nbrs) // 4]), int(nbrs[3 * len(nbrs) // 4])
     in_range = bt.neighbor_range(hub, lo, hi)
     print(

@@ -12,7 +12,7 @@ showing why the paper recommends ≈ 0.7.
 
 from repro.analytics.triangle_count import triangle_count_hash
 from repro.bench.harness import time_call
-from repro.core import DynamicGraph
+import repro.api as api
 from repro.datasets import rmat_graph
 
 
@@ -28,7 +28,7 @@ def main() -> None:
 
     best = None
     for lf in (0.3, 0.5, 0.7, 1.0, 1.5, 2.5, 4.0):
-        g = DynamicGraph(coo.num_vertices, weighted=False, load_factor=lf)
+        g = api.create("slabhash", coo.num_vertices, load_factor=lf)
         build_rec, _ = time_call("build", g.bulk_build, coo, items=coo.num_edges)
         st = g.stats()
         tc_rec, triangles = time_call("tc", triangle_count_hash, g)

@@ -1,25 +1,29 @@
-"""Quickstart: the dynamic graph's core operations in two minutes.
+"""Quickstart: the unified graph API in two minutes.
 
 Run:  python examples/quickstart.py
 
 Walks through the five operations the paper defines for a dynamic graph
-data structure (Section II-A): adjacency retrieval, vertex insertion and
-deletion, edge insertion and deletion — plus the batched queries and the
-memory statistics that drive the load-factor tuning.
+data structure (Section II-A) — adjacency retrieval, vertex insertion and
+deletion, edge insertion and deletion — through the ``repro.api`` facade,
+then shows the backend registry: the same code driving the paper's
+structure, its competitors, and the capability flags that tell them apart.
 """
 
 import numpy as np
 
-from repro import COO, DynamicGraph
+import repro.api as api
+from repro import COO, Graph
 
 
 def main() -> None:
-    # A weighted directed graph with capacity for 1,000 vertex ids.
-    g = DynamicGraph(num_vertices=1_000, weighted=True, load_factor=0.7)
+    # A weighted directed graph with capacity for 1,000 vertex ids,
+    # constructed by backend name ("slabhash" is the paper's structure).
+    g = Graph.create("slabhash", num_vertices=1_000, weighted=True, load_factor=0.7)
 
     # --- Edge insertion (Algorithm 1 semantics) -------------------------
     # Batches may contain duplicates; the structure keeps edges unique and
-    # the most recent weight wins.  Self-loops are dropped.
+    # the most recent weight wins.  Self-loops are dropped (the facade's
+    # default policy; pass self_loops="error" to reject them instead).
     src = [0, 0, 0, 1, 2, 2]
     dst = [1, 2, 1, 2, 0, 2]  # (0,1) twice; (2,2) is a self loop
     w = [10, 20, 11, 30, 40, 99]
@@ -40,13 +44,8 @@ def main() -> None:
     removed = g.delete_edges([0, 0], [2, 7])  # (0,7) never existed
     print(f"deleted {removed} edges; degree(0) is now {int(g.degree([0])[0])}")
 
-    # --- Vertex operations (Section IV-D) ----------------------------------
-    # Vertex insertion registers ids (growing the dictionary if needed) and
-    # can pre-size tables when the expected degree is known.
-    g.insert_vertices([500], expected_degree=[64])
+    # --- Vertex deletion (capability-gated, Section IV-D) -------------------
     g.insert_edges(np.full(64, 500), np.arange(64))
-    print(f"vertex 500 inserted with degree {int(g.degree([500])[0])}")
-
     removed = g.delete_vertices([500])
     print(f"vertex 500 deleted ({removed} edges removed with it)")
     assert not g.edge_exists([500], [3])[0]
@@ -54,17 +53,22 @@ def main() -> None:
     # --- Bulk build from COO (Table V workload) ------------------------------
     rng = np.random.default_rng(0)
     coo = COO(rng.integers(0, 1000, 5000), rng.integers(0, 1000, 5000), 1000)
-    g2 = DynamicGraph(num_vertices=1000, weighted=False)
+    g2 = Graph.create("slabhash", num_vertices=1000)
     g2.bulk_build(coo)
-    st = g2.stats()
-    print(
-        f"bulk-built |E|={g2.num_edges()} in {st.num_slabs} slabs "
-        f"({st.memory_utilization:.0%} lane utilization, {st.memory_bytes} bytes)"
-    )
+    print(f"bulk-built |E|={g2.num_edges()} in {g2.memory_bytes()} bytes")
 
     # --- Snapshot for analytics ------------------------------------------------
-    snapshot = g2.export_coo()
+    snapshot = g2.snapshot()
     print(f"exported snapshot: {snapshot}")
+
+    # --- The registry: every backend through the same surface -------------------
+    print(f"\nregistered backends: {', '.join(api.backend_names())}")
+    for name in api.backend_names():
+        b = api.create(name, num_vertices=64)
+        b.insert_edges([1, 2, 3], [2, 3, 1])
+        caps = b.instance_capabilities()
+        tags = ",".join(k for k, v in caps.flags().items() if v) or "-"
+        print(f"  {name:10s} |E|={b.num_edges()}  capabilities: {tags}")
 
 
 if __name__ == "__main__":

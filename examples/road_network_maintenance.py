@@ -12,12 +12,12 @@ usage pattern the structure is designed for.
 
 import numpy as np
 
+import repro.api as api
 from repro.analytics import bfs, connected_components
-from repro.core import DynamicGraph
 from repro.datasets import road_graph
 
 
-def reachable_fraction(g: DynamicGraph, source: int) -> float:
+def reachable_fraction(g, source: int) -> float:
     dist = bfs(g, source)
     return float((dist >= 0).sum()) / dist.shape[0]
 
@@ -28,7 +28,9 @@ def main() -> None:
     n = city.num_vertices
     print(f"city road network: {city}")
 
-    g = DynamicGraph(n, weighted=True, directed=False)
+    # The raw slabhash backend (not the facade): this example exercises the
+    # structure-specific maintenance surface (stats, tombstone flushing).
+    g = api.create("slabhash", n, weighted=True, directed=False)
     # Weights carry travel times (deciseconds).
     keep = city.src < city.dst
     travel = rng.integers(30, 600, int(keep.sum()))

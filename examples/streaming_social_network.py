@@ -13,9 +13,8 @@ accounting.
 
 import numpy as np
 
+import repro.api as api
 from repro.analytics.triangle_count import dynamic_triangle_count
-from repro.baselines import HornetGraph
-from repro.core import DynamicGraph
 from repro.datasets import powerlaw_graph
 
 
@@ -40,12 +39,12 @@ def main() -> None:
         batches.append((followers, followees))
 
     # Ours: hash-per-vertex graph; counts run directly on the tables.
-    ours = DynamicGraph(n, weighted=False)
+    ours = api.create("slabhash", n)
     ours.bulk_build(base)
     ours_steps = dynamic_triangle_count(ours, batches, mode="hash")
 
     # Hornet-like baseline: must maintain sorted adjacency per batch.
-    hornet = HornetGraph(n, weighted=False)
+    hornet = api.create("hornet", n)
     hornet.bulk_build(base)
     hornet_steps = dynamic_triangle_count(hornet, batches, mode="sorted")
 

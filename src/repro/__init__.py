@@ -4,31 +4,83 @@ The package implements the paper's hash-table-per-vertex dynamic graph data
 structure (on SlabHash) together with every substrate it depends on and the
 baselines it is evaluated against, on a simulated-GPU substrate:
 
-- :mod:`repro.core` — the dynamic graph (the paper's contribution);
+- :mod:`repro.api` — the unified GraphBackend protocol, capability
+  registry, and the ``Graph`` facade every consumer targets;
+- :mod:`repro.core` — the dynamic graph (the paper's contribution; backend
+  name ``"slabhash"``);
 - :mod:`repro.slabhash` — the slab hash (concurrent map & set) and slab
   allocator;
 - :mod:`repro.gpusim` — warp primitives, the WCWS reference engine, and the
   kernel cost counters standing in for GPU hardware;
 - :mod:`repro.baselines` — Hornet-, faimGraph-, GPMA-like structures and
   static CSR;
+- :mod:`repro.btree` — the B-tree-per-vertex backend (Section VII);
 - :mod:`repro.analytics` — Gunrock-lite graph algorithms (triangle
-  counting, BFS, PageRank, connected components, k-truss);
+  counting, BFS, SSSP, PageRank, connected components, k-core, k-truss),
+  all backend-agnostic;
 - :mod:`repro.datasets` — synthetic generators matching the paper's Table I
   dataset shapes;
 - :mod:`repro.bench` — the evaluation harness regenerating Tables II-IX and
   Figures 2-3.
 
-Quickstart::
+Quickstart (the unified API)::
 
-    from repro import COO, DynamicGraph
-    g = DynamicGraph(num_vertices=1000, weighted=True)
+    from repro import Graph
+    g = Graph.create("slabhash", num_vertices=1000, weighted=True)
     g.insert_edges([0, 1, 2], [1, 2, 0], weights=[5, 6, 7])
     g.edge_exists([0], [1])          # -> array([ True])
+    snap = g.snapshot()              # sorted-CSR view for analytics
+
+    import repro.api as api
+    api.backend_names()              # ('btree', 'faimgraph', 'gpma', 'hornet', 'slabhash')
+    api.create("hornet", num_vertices=1000)   # raw backend by name
+
+The legacy entry point still works (``from repro import DynamicGraph``)
+and constructs the slab-hash backend directly.
 """
 
+from repro.api import Capabilities, CSRSnapshot, Graph, GraphBackend
+from repro.api import backend_names, capabilities, create, register
 from repro.coo import COO
-from repro.core import DynamicGraph
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["COO", "DynamicGraph", "__version__"]
+__all__ = [
+    "COO",
+    "Capabilities",
+    "CSRSnapshot",
+    "DynamicGraph",
+    "Graph",
+    "GraphBackend",
+    "backend_names",
+    "capabilities",
+    "create",
+    "register",
+    "__version__",
+]
+
+_DEPRECATED = {"DynamicGraph"}
+
+
+def __getattr__(name: str):
+    """Thin deprecation shim for the pre-registry entry points.
+
+    ``from repro import DynamicGraph`` keeps working (it is also the
+    lazy-import path that avoids loading the whole core package on
+    ``import repro``) but new code should construct by backend name via
+    :func:`repro.api.create` or :meth:`repro.api.Graph.create`.
+    """
+    if name in _DEPRECATED:
+        import warnings
+
+        warnings.warn(
+            f"'from repro import {name}' is a legacy alias; prefer "
+            "repro.api.create('slabhash', num_vertices=...) or "
+            "repro.Graph.create('slabhash', ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import DynamicGraph
+
+        return DynamicGraph
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

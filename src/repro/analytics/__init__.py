@@ -13,17 +13,25 @@ counting; this subpackage provides the equivalent algorithm layer:
   :mod:`repro.analytics.ktruss` — classic primitives exercising queries,
   iteration, and (for k-truss) in-algorithm dynamic edge deletion, the
   truly-dynamic usage pattern the paper's introduction motivates.
+
+Every algorithm is backend-agnostic: traversal kernels drive the
+:class:`repro.api.GraphBackend` adjacency iterator, whole-graph kernels
+(PageRank, components, core numbers, sorted TC) read the uniform
+:meth:`repro.api.Graph.snapshot` CSR view via :func:`repro.api.as_snapshot`,
+so the same code runs over the slab-hash graph, the B-tree, Hornet,
+faimGraph, GPMA, or any future registered backend.
 """
 
 from repro.analytics.bfs import bfs
 from repro.analytics.connected_components import connected_components
-from repro.analytics.frontier import advance, filter_frontier
+from repro.analytics.frontier import advance, filter_frontier, vertex_space
 from repro.analytics.kcore import core_numbers, kcore
 from repro.analytics.ktruss import ktruss
 from repro.analytics.pagerank import pagerank
 from repro.analytics.sssp import sssp
 from repro.analytics.triangle_count import (
     dynamic_triangle_count,
+    triangle_count_csr,
     triangle_count_hash,
     triangle_count_sorted,
 )
@@ -39,6 +47,8 @@ __all__ = [
     "ktruss",
     "pagerank",
     "sssp",
+    "triangle_count_csr",
     "triangle_count_hash",
     "triangle_count_sorted",
+    "vertex_space",
 ]

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analytics.frontier import advance, filter_frontier
+from repro.analytics.frontier import advance, filter_frontier, vertex_space
 from repro.util.errors import ValidationError
 
 __all__ = ["bfs"]
@@ -17,13 +17,10 @@ __all__ = ["bfs"]
 def bfs(graph, source: int, max_depth: int | None = None) -> np.ndarray:
     """Hop distances from ``source``; unreachable vertices get -1.
 
-    Works on any structure with ``adjacencies``/``neighbors``; vertex-id
-    space is taken from ``vertex_capacity`` (our graph) or
-    ``num_vertices`` (baselines).
+    Works on any :class:`repro.api.GraphBackend`, the ``Graph`` facade, or
+    any structure with ``adjacencies``/``neighbors``.
     """
-    n = getattr(graph, "vertex_capacity", None) or getattr(graph, "num_vertices", None)
-    if n is None:
-        raise ValidationError("graph exposes neither vertex_capacity nor num_vertices")
+    n = vertex_space(graph)
     source = int(source)
     if not (0 <= source < n):
         raise ValidationError(f"source {source} out of range [0, {n})")

@@ -3,12 +3,15 @@
 The classic GPU formulation (hooking + shortcutting over an edge list):
 every vertex starts as its own label; each round hooks the larger label to
 the smaller across every edge and then compresses label chains by pointer
-jumping.  Runs on the exported snapshot; treats edges as undirected.
+jumping.  Runs on a CSR snapshot (via :func:`repro.api.as_snapshot`, so any
+backend, facade, or pre-built snapshot works); treats edges as undirected.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.api.snapshot import as_snapshot
 
 __all__ = ["connected_components"]
 
@@ -18,13 +21,14 @@ def connected_components(graph) -> np.ndarray:
 
     Isolated ids label themselves.
     """
-    coo = graph.export_coo()
-    n = coo.num_vertices
+    snap = as_snapshot(graph)
+    n = snap.num_vertices
     labels = np.arange(n, dtype=np.int64)
-    if coo.num_edges == 0:
+    if snap.num_edges == 0:
         return labels
-    u = np.concatenate([coo.src, coo.dst])
-    v = np.concatenate([coo.dst, coo.src])
+    src, dst = snap.sources(), snap.col_idx
+    u = np.concatenate([src, dst])
+    v = np.concatenate([dst, src])
     while True:
         # Hook: every vertex adopts the minimum neighbor label.
         lu = labels[u]

@@ -12,9 +12,39 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.util.errors import ValidationError
 from repro.util.validation import as_int_array
 
-__all__ = ["advance", "filter_frontier"]
+__all__ = ["advance", "filter_frontier", "vertex_space", "adjacencies_of"]
+
+
+def vertex_space(graph) -> int:
+    """Vertex-id space of any graph-like object.
+
+    Every :class:`repro.api.GraphBackend` (and the ``Graph`` facade)
+    exposes ``num_vertices``; the slab-hash structure also calls it
+    ``vertex_capacity``.  Raises for objects exposing neither.
+    """
+    n = getattr(graph, "num_vertices", None)
+    if n is None:
+        n = getattr(graph, "vertex_capacity", None)
+    if n is None:
+        raise ValidationError("graph exposes neither num_vertices nor vertex_capacity")
+    return int(n)
+
+
+def adjacencies_of(graph, vertex_ids) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched adjacency iterator over any graph-like object.
+
+    Uses the protocol's ``adjacencies`` when available (all registered
+    backends inherit one), falling back to per-vertex ``neighbors`` calls
+    for foreign objects (e.g. a bare :class:`repro.api.CSRSnapshot`).
+    """
+    if hasattr(graph, "adjacencies"):
+        return graph.adjacencies(vertex_ids)
+    from repro.api.backend import gather_adjacencies
+
+    return gather_adjacencies(graph, vertex_ids)
 
 
 def advance(graph, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -27,20 +57,8 @@ def advance(graph, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if frontier.size == 0:
         e = np.empty(0, dtype=np.int64)
         return e, e.copy()
-    if hasattr(graph, "adjacencies"):
-        owner_pos, dst, _ = graph.adjacencies(frontier)
-        return frontier[owner_pos], dst
-    # Baseline fallback: per-vertex neighbor queries.
-    src_parts, dst_parts = [], []
-    for v in frontier.tolist():
-        nbrs, _ = graph.neighbors(int(v))
-        if nbrs.size:
-            src_parts.append(np.full(nbrs.shape[0], v, dtype=np.int64))
-            dst_parts.append(nbrs.astype(np.int64))
-    if not src_parts:
-        e = np.empty(0, dtype=np.int64)
-        return e, e.copy()
-    return np.concatenate(src_parts), np.concatenate(dst_parts)
+    owner_pos, dst, _ = adjacencies_of(graph, frontier)
+    return frontier[owner_pos], dst
 
 
 def filter_frontier(candidates: np.ndarray, visited: np.ndarray) -> np.ndarray:

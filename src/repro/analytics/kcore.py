@@ -4,12 +4,18 @@ Like k-truss (the paper's in-algorithm mutation example), k-core
 repeatedly deletes elements below a threshold — here vertices of degree
 < k — through the structure's *dynamic* vertex-deletion path, so every
 peeling round is a real Algorithm 2 batch.
+
+:func:`kcore` peels any backend with the ``vertex_dynamic`` capability
+(slab-hash, B-tree, faimGraph) or the ``Graph`` facade over one.  The
+slab-hash structure takes a fast path through its maintained counters;
+other backends recompute degrees from a snapshot per round.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.api.snapshot import as_snapshot
 from repro.util.errors import ValidationError
 
 __all__ = ["kcore", "core_numbers"]
@@ -18,21 +24,38 @@ __all__ = ["kcore", "core_numbers"]
 def kcore(graph, k: int, max_rounds: int = 10_000) -> int:
     """Peel the graph (in place) to its k-core; returns vertices deleted.
 
-    The graph must hold a symmetric edge set in *undirected* mode so
-    vertex deletion maintains reverse edges.
+    The graph must hold a symmetric edge set (undirected mode, or both
+    orientations inserted) so vertex deletion maintains reverse edges.
+    Only vertices that still have edges are peeled (a degree-0 vertex is
+    indistinguishable from an absent id in most backends, and deleting it
+    is a no-op on the edge set), so the deleted count is identical across
+    backends for identical inputs.
     """
     if k < 1:
         raise ValidationError("k must be >= 1")
+    backend = getattr(graph, "backend", graph)  # unwrap a Graph facade
+    caps = getattr(backend, "capabilities", None)
+    if caps is not None and not caps.vertex_dynamic:
+        raise ValidationError(
+            f"kcore requires vertex deletion; backend {type(backend).__name__} "
+            "declares capability vertex_dynamic=False"
+        )
     deleted = 0
+    fast = hasattr(backend, "_dict")  # slab-hash: maintained exact counters
     for _ in range(max_rounds):
-        degrees = graph._dict.edge_count if hasattr(graph, "_dict") else None
-        if degrees is None:
-            raise ValidationError("kcore requires the repro DynamicGraph")
-        active = graph._dict.active
-        weak = np.flatnonzero(active & (degrees < k))
+        if fast:
+            degrees = backend._dict.edge_count
+            active = backend._dict.active
+            weak = np.flatnonzero(active & (degrees > 0) & (degrees < k))
+        else:
+            # Degrees only — bincount over the unordered export; building a
+            # sorted snapshot would pay an O(E log E) lexsort per round.
+            coo = backend.export_coo()
+            degrees = np.bincount(coo.src, minlength=int(backend.num_vertices))
+            weak = np.flatnonzero((degrees > 0) & (degrees < k))
         if weak.size == 0:
             break
-        graph.delete_vertices(weak)
+        backend.delete_vertices(weak)
         deleted += int(weak.size)
     return deleted
 
@@ -41,14 +64,15 @@ def core_numbers(graph) -> np.ndarray:
     """Core number per vertex (computed on a snapshot; non-destructive).
 
     Standard peeling on exported arrays — used to cross-check the
-    destructive :func:`kcore` and by the examples.
+    destructive :func:`kcore` and by the examples.  Accepts any backend,
+    facade, or snapshot.
     """
-    coo = graph.export_coo()
-    n = coo.num_vertices
-    deg = np.bincount(coo.src, minlength=n).astype(np.int64)
+    snap = as_snapshot(graph)
+    n = snap.num_vertices
+    deg = snap.out_degrees()
     core = np.zeros(n, dtype=np.int64)
     alive = deg > 0
-    src, dst = coo.src.copy(), coo.dst.copy()
+    src, dst = snap.sources(), snap.col_idx.copy()
     k = 0
     while alive.any():
         k += 1

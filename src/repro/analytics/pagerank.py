@@ -1,15 +1,18 @@
-"""PageRank by power iteration over an exported edge snapshot.
+"""PageRank by power iteration over a CSR snapshot.
 
 PageRank is a read-only, whole-graph computation, so the idiomatic pattern
 for a phase-concurrent dynamic structure is: snapshot the edge set once
 (one bulk iterator sweep), then iterate over the flat arrays — exactly how
-a Gunrock app would consume the structure between update phases.
+a Gunrock app would consume the structure between update phases.  The
+snapshot is taken through :func:`repro.api.as_snapshot`, so any registered
+backend, the ``Graph`` facade, or a pre-built :class:`CSRSnapshot` works.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.api.snapshot import as_snapshot
 from repro.util.errors import ValidationError
 
 __all__ = ["pagerank"]
@@ -24,16 +27,16 @@ def pagerank(
     """PageRank scores per vertex id (dangling mass redistributed).
 
     Returns a vector over the full vertex-id space; isolated ids receive
-    the teleport mass only.
+    the teleport mass only.  Accepts any backend, facade, or snapshot.
     """
     if not (0.0 < damping < 1.0):
         raise ValidationError("damping must be in (0, 1)")
-    coo = graph.export_coo()
-    n = coo.num_vertices
+    snap = as_snapshot(graph)
+    n = snap.num_vertices
     if n == 0:
         return np.empty(0, dtype=np.float64)
-    src, dst = coo.src, coo.dst
-    out_deg = np.bincount(src, minlength=n).astype(np.float64)
+    src, dst = snap.sources(), snap.col_idx
+    out_deg = snap.out_degrees().astype(np.float64)
     dangling = out_deg == 0
 
     rank = np.full(n, 1.0 / n, dtype=np.float64)

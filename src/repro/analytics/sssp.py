@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analytics.frontier import adjacencies_of, vertex_space
 from repro.util.errors import ValidationError
 
 __all__ = ["sssp"]
@@ -20,11 +21,12 @@ def sssp(graph, source: int, max_rounds: int | None = None) -> np.ndarray:
     """Shortest-path distances from ``source``; unreachable = -1.
 
     Requires a weighted graph (``graph.weighted``); weights are read
-    through the batched adjacency iterator.
+    through the batched adjacency iterator.  Works on any weighted
+    :class:`repro.api.GraphBackend` or the ``Graph`` facade.
     """
     if not getattr(graph, "weighted", False):
         raise ValidationError("sssp requires a weighted graph (map variant)")
-    n = graph.vertex_capacity
+    n = vertex_space(graph)
     source = int(source)
     if not (0 <= source < n):
         raise ValidationError(f"source {source} out of range [0, {n})")
@@ -38,7 +40,7 @@ def sssp(graph, source: int, max_rounds: int | None = None) -> np.ndarray:
     for _ in range(rounds):
         if frontier.size == 0:
             break
-        owner_pos, dst, w = graph.adjacencies(frontier)
+        owner_pos, dst, w = adjacencies_of(graph, frontier)
         if dst.size == 0:
             break
         cand = dist[frontier[owner_pos]] + w

@@ -28,11 +28,13 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.analytics.frontier import adjacencies_of, vertex_space
 from repro.util.errors import ValidationError
 
 __all__ = [
     "triangle_count_hash",
     "triangle_count_sorted",
+    "triangle_count_csr",
     "dynamic_triangle_count",
     "DynamicTCStep",
 ]
@@ -59,7 +61,7 @@ def triangle_count_hash(graph, chunk_size: int = 1 << 22) -> int:
     u, v = _oriented_edges(coo)
     if u.size == 0:
         return 0
-    deg = np.bincount(coo.src, minlength=graph.vertex_capacity)
+    deg = np.bincount(coo.src, minlength=vertex_space(graph))
     # Probe from the smaller endpoint into the larger endpoint's table.
     swap = deg[u] > deg[v]
     small = np.where(swap, v, u)
@@ -71,7 +73,7 @@ def triangle_count_hash(graph, chunk_size: int = 1 << 22) -> int:
     order = np.argsort(small, kind="stable")
     small_s, big_s = small[order], big[order]
     uniq, counts = np.unique(small_s, return_counts=True)
-    owner_pos, nbrs, _ = graph.adjacencies(uniq)
+    owner_pos, nbrs, _ = adjacencies_of(graph, uniq)
     # Sort the iterator output by owner so each vertex's neighbors are a
     # contiguous run, then replicate runs per referencing edge.
     run_order = np.argsort(owner_pos, kind="stable")
@@ -170,6 +172,19 @@ def triangle_count_sorted(row_ptr: np.ndarray, col_idx: np.ndarray) -> int:
     found = (loc < comp.shape[0]) & (comp[safe] == probe)
     triangles = int(found.sum())
     return triangles // 3
+
+
+def triangle_count_csr(graph) -> int:
+    """Static TC over any backend/facade/snapshot via its sorted-CSR view.
+
+    Convenience wrapper pairing :func:`repro.api.as_snapshot` with
+    :func:`triangle_count_sorted`; the graph must hold a symmetric edge
+    set.
+    """
+    from repro.api.snapshot import as_snapshot
+
+    snap = as_snapshot(graph)
+    return triangle_count_sorted(snap.row_ptr, snap.col_idx)
 
 
 @dataclass

@@ -1,0 +1,65 @@
+"""Unified dynamic-graph API: protocol, capability registry, and facade.
+
+The paper (Awad et al., IPDPS 2020) compares one dynamic-graph structure
+against Hornet-, faimGraph-, GPMA- and B-tree-style competitors; this
+package is the contract that lets every consumer in the repository —
+analytics, the bench harness, examples, tests — drive all five structures
+through one stable surface:
+
+- :class:`GraphBackend` (``repro.api.backend``) — the typed ABC capturing
+  the shared update/query surface every structure implements;
+- :class:`Capabilities` (``repro.api.capabilities``) — per-backend feature
+  flags (weighted storage, vertex deletion, sorted ranges, rehash,
+  tombstone flush) that consumers branch on instead of ``hasattr`` probes;
+- the **registry** (``repro.api.registry``) — ``create("hornet",
+  num_vertices=...)`` constructs any registered backend by name;
+  ``register(...)`` adds new ones;
+- :class:`Graph` (``repro.api.facade``) — argument normalization done
+  exactly once, capability-gated dispatch, and the :meth:`Graph.snapshot`
+  sorted-CSR view whole-graph analytics consume;
+- :class:`CSRSnapshot` / :func:`as_snapshot` (``repro.api.snapshot``) —
+  the immutable read view of a phase-concurrent structure.
+
+Quickstart::
+
+    import repro.api as api
+
+    g = api.Graph.create("slabhash", num_vertices=1_000, weighted=True)
+    g.insert_edges([0, 1, 2], [1, 2, 0], weights=[5, 6, 7])
+    g.edge_exists([0], [1])                  # -> array([ True])
+
+    from repro.analytics import pagerank
+    pagerank(g)                              # reads g.snapshot()
+
+    raw = api.create("gpma", num_vertices=64)   # unwrapped backend
+    api.capabilities("gpma").vertex_dynamic     # False
+"""
+
+from repro.api.backend import DegreeView, GraphBackend, degree_array
+from repro.api.capabilities import Capabilities
+from repro.api.facade import Graph
+from repro.api.registry import (
+    BackendSpec,
+    backend_names,
+    capabilities,
+    create,
+    get_spec,
+    register,
+)
+from repro.api.snapshot import CSRSnapshot, as_snapshot
+
+__all__ = [
+    "BackendSpec",
+    "Capabilities",
+    "CSRSnapshot",
+    "DegreeView",
+    "Graph",
+    "GraphBackend",
+    "as_snapshot",
+    "backend_names",
+    "capabilities",
+    "create",
+    "degree_array",
+    "get_spec",
+    "register",
+]

@@ -1,0 +1,284 @@
+"""The ``Graph`` facade: one normalization layer over any backend.
+
+Every backend historically re-implemented the same argument pipeline
+(coerce to int64, length check, bounds check, self-loop drop, weight
+defaulting) with subtly different defaults.  The facade does that work
+exactly once at the public boundary and dispatches clean ndarray batches;
+backend-side re-coercion is a fast-pathed no-op on already-clean arrays.
+
+Quickstart::
+
+    from repro.api import Graph
+    g = Graph.create("slabhash", num_vertices=1_000, weighted=True)
+    g.insert_edges([0, 1, 2], [1, 2, 0], weights=[5, 6, 7])
+    g.edge_exists([0], [1])            # -> array([ True])
+    snap = g.snapshot()                # sorted-CSR view for analytics
+    g.capabilities                     # Capabilities(...) of the instance
+
+Policies (chosen at construction, applied to every batch):
+
+- ``self_loops``: ``"drop"`` (default, Algorithm 1 line 3) or ``"error"``;
+- ``dedup_batches``: pre-collapse intra-batch duplicates (last occurrence
+  wins, matching replace semantics) before the backend sees them;
+- ``default_weight``: fill value when a weighted graph gets no weights;
+- weights handed to an unweighted instance raise :class:`ValidationError`
+  — never silently dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.api.backend import GraphBackend
+from repro.api.capabilities import Capabilities
+from repro.api.registry import create as _create_backend
+from repro.api.snapshot import CSRSnapshot, as_snapshot
+from repro.coo import COO
+from repro.util.errors import ValidationError
+from repro.util.groupby import last_occurrence_mask
+from repro.util.validation import as_int_array, check_equal_length, check_in_range
+
+__all__ = ["Graph"]
+
+_SELF_LOOP_POLICIES = ("drop", "error")
+
+
+class Graph:
+    """A backend-agnostic dynamic graph with uniform batch normalization.
+
+    Wrap an existing backend instance (``Graph(backend)``) or construct by
+    registry name (:meth:`Graph.create`).  All mutation and query methods
+    validate once here, then dispatch; capability-gated operations raise a
+    clear :class:`ValidationError` naming the missing flag instead of an
+    ``AttributeError`` from a missing method.
+    """
+
+    def __init__(
+        self,
+        backend: GraphBackend,
+        *,
+        self_loops: str = "drop",
+        dedup_batches: bool = False,
+        default_weight: int = 0,
+    ) -> None:
+        if isinstance(backend, str):
+            raise ValidationError(
+                "Graph() wraps a backend instance; use "
+                "Graph.create(name, num_vertices=...) to construct by name"
+            )
+        if self_loops not in _SELF_LOOP_POLICIES:
+            raise ValidationError(
+                f"self_loops must be one of {_SELF_LOOP_POLICIES}, got {self_loops!r}"
+            )
+        self.backend = backend
+        self.self_loops = self_loops
+        self.dedup_batches = bool(dedup_batches)
+        self.default_weight = int(default_weight)
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        num_vertices: int,
+        *,
+        weighted: bool = False,
+        self_loops: str = "drop",
+        dedup_batches: bool = False,
+        default_weight: int = 0,
+        **backend_kwargs: Any,
+    ) -> "Graph":
+        """Construct a registered backend by name and wrap it."""
+        backend = _create_backend(
+            name, num_vertices, weighted=weighted, **backend_kwargs
+        )
+        return cls(
+            backend,
+            self_loops=self_loops,
+            dedup_batches=dedup_batches,
+            default_weight=default_weight,
+        )
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def capabilities(self) -> Capabilities:
+        """Capabilities of the wrapped *instance* (class flags narrowed by
+        construction choices such as ``weighted=False``)."""
+        return self.backend.instance_capabilities()
+
+    @property
+    def num_vertices(self) -> int:
+        """Current vertex-id space (ids addressable without growth)."""
+        return int(self.backend.num_vertices)
+
+    @property
+    def vertex_capacity(self) -> int:
+        """Alias of :attr:`num_vertices` (the slab-hash structure's name)."""
+        return self.num_vertices
+
+    @property
+    def weighted(self) -> bool:
+        return bool(self.backend.weighted)
+
+    @property
+    def directed(self) -> bool:
+        """Backends without an explicit mode store directed slots."""
+        return bool(getattr(self.backend, "directed", True))
+
+    # -- batch normalization (the single validation seam) ------------------------
+
+    def _normalize(self, src, dst, weights, *, fill_default_weight: bool = True):
+        src = as_int_array(src, "src")
+        dst = as_int_array(dst, "dst")
+        check_equal_length(("src", src), ("dst", dst))
+        if src.size:
+            n = self.num_vertices
+            check_in_range(src, 0, n, "src")
+            check_in_range(dst, 0, n, "dst")
+        if weights is not None:
+            if not self.weighted:
+                raise ValidationError(
+                    f"graph is unweighted (backend {type(self.backend).__name__}); "
+                    "weights are not accepted — construct with weighted=True"
+                )
+            weights = as_int_array(weights, "weights")
+            check_equal_length(("src", src), ("weights", weights))
+        loops = src == dst
+        if loops.any():
+            if self.self_loops == "error":
+                raise ValidationError(
+                    f"batch contains {int(loops.sum())} self-loop(s) and this "
+                    "Graph was constructed with self_loops='error'"
+                )
+            keep = ~loops
+            src, dst = src[keep], dst[keep]
+            weights = weights[keep] if weights is not None else None
+        if self.dedup_batches and src.size:
+            comp = (src << np.int64(32)) | dst
+            keep = last_occurrence_mask(comp)
+            src, dst = src[keep], dst[keep]
+            weights = weights[keep] if weights is not None else None
+        if weights is None and self.weighted and fill_default_weight:
+            weights = np.full(src.shape[0], self.default_weight, dtype=np.int64)
+        return src, dst, weights
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert_edges(self, src, dst, weights=None) -> int:
+        """Batched edge insertion (replace semantics); returns edges added."""
+        src, dst, weights = self._normalize(src, dst, weights)
+        if src.size == 0:
+            return 0
+        return int(self.backend.insert_edges(src, dst, weights))
+
+    def delete_edges(self, src, dst) -> int:
+        """Batched edge deletion; returns edges actually removed."""
+        src, dst, _ = self._normalize(src, dst, None, fill_default_weight=False)
+        if src.size == 0:
+            return 0
+        return int(self.backend.delete_edges(src, dst))
+
+    def delete_vertices(self, vertex_ids) -> int:
+        """Delete vertices and incident edges (capability-gated)."""
+        self._require("vertex_dynamic")
+        vids = as_int_array(vertex_ids, "vertex_ids")
+        if vids.size == 0:
+            return 0
+        check_in_range(vids, 0, self.num_vertices, "vertex_ids")
+        return int(self.backend.delete_vertices(vids))
+
+    def bulk_build(self, coo: COO) -> int:
+        """One-shot build from a COO snapshot (requires an empty graph).
+
+        A weighted COO loads into an unweighted graph by *dropping* weights
+        — a snapshot restore, unlike :meth:`insert_edges`, which rejects
+        explicit weights on unweighted instances.
+        """
+        if coo.weights is not None and not self.weighted:
+            coo = COO(coo.src, coo.dst, coo.num_vertices, weights=None)
+        return int(self.backend.bulk_build(coo))
+
+    # -- queries --------------------------------------------------------------------
+
+    def edge_exists(self, src, dst) -> np.ndarray:
+        src = as_int_array(src, "src")
+        dst = as_int_array(dst, "dst")
+        check_equal_length(("src", src), ("dst", dst))
+        if src.size == 0:
+            return np.empty(0, dtype=bool)
+        check_in_range(src, 0, self.num_vertices, "src")
+        check_in_range(dst, 0, self.num_vertices, "dst")
+        return self.backend.edge_exists(src, dst)
+
+    def edge_weights(self, src, dst) -> tuple[np.ndarray, np.ndarray]:
+        src = as_int_array(src, "src")
+        dst = as_int_array(dst, "dst")
+        check_equal_length(("src", src), ("dst", dst))
+        if src.size == 0:
+            return np.empty(0, dtype=bool), np.empty(0, dtype=np.int64)
+        check_in_range(src, 0, self.num_vertices, "src")
+        check_in_range(dst, 0, self.num_vertices, "dst")
+        return self.backend.edge_weights(src, dst)
+
+    def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
+        v = int(vertex)
+        check_in_range(np.array([v]), 0, self.num_vertices, "vertex")
+        return self.backend.neighbors(v)
+
+    def adjacencies(self, vertex_ids) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched adjacency iterator ``(owner_pos, destinations, weights)``."""
+        return self.backend.adjacencies(vertex_ids)
+
+    def degree(self, vertex_ids) -> np.ndarray:
+        """Out-degree per requested vertex (uniform across backends)."""
+        return self.backend.degree(vertex_ids)
+
+    def num_edges(self) -> int:
+        return int(self.backend.num_edges())
+
+    def memory_bytes(self) -> int:
+        return int(self.backend.memory_bytes())
+
+    def export_coo(self) -> COO:
+        return self.backend.export_coo()
+
+    def sorted_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.backend.sorted_adjacency()
+
+    def snapshot(self) -> CSRSnapshot:
+        """Sorted-CSR snapshot — the uniform view analytics consume."""
+        return as_snapshot(self.backend)
+
+    def neighbor_range(self, vertex: int, lo: int, hi: int) -> np.ndarray:
+        """Neighbors with ids in ``[lo, hi)`` (capability-gated: only
+        sorted structures serve this without a scan — Section VII)."""
+        self._require("range_queries")
+        return self.backend.neighbor_range(int(vertex), int(lo), int(hi))
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def rehash(self, vertex_ids=None, load_factor: float | None = None) -> int:
+        self._require("rehash")
+        return int(self.backend.rehash(vertex_ids, load_factor))
+
+    def flush_tombstones(self, vertex_ids=None) -> None:
+        self._require("tombstone_flush")
+        self.backend.flush_tombstones(vertex_ids)
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def _require(self, flag: str) -> None:
+        caps = self.capabilities
+        if not getattr(caps, flag):
+            raise ValidationError(
+                f"backend {type(self.backend).__name__} does not support this "
+                f"operation (capability {flag}=False)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph({type(self.backend).__name__}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges()}, weighted={self.weighted})"
+        )

@@ -1,0 +1,103 @@
+"""The uniform read-only view analytics consume: a sorted CSR snapshot.
+
+The paper's usage pattern is *phase-concurrent*: update phases mutate the
+structure, query/compute phases read it.  Whole-graph analytics (PageRank,
+connected components, core numbers, sorted triangle counting) should not
+poke backend internals — they take one :class:`CSRSnapshot` produced by
+:meth:`repro.api.Graph.snapshot` (or any backend's ``snapshot()``) and
+iterate over flat arrays, exactly how a Gunrock app consumes the structure
+between update phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coo import COO
+
+__all__ = ["CSRSnapshot", "as_snapshot"]
+
+
+@dataclass(frozen=True)
+class CSRSnapshot:
+    """An immutable sorted-CSR view of a graph's live edge set.
+
+    Rows are sorted by destination (so ``col_idx`` is globally sorted under
+    the ``(src << 32) | dst`` composite order), which sorted-intersection
+    kernels rely on.  ``weights`` is None for unweighted snapshots.
+    """
+
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    weights: np.ndarray | None
+    num_vertices: int
+
+    @classmethod
+    def from_coo(cls, coo: COO) -> "CSRSnapshot":
+        row_ptr, col_idx, w = coo.to_csr()
+        return cls(
+            row_ptr=row_ptr,
+            col_idx=col_idx,
+            weights=w if coo.weights is not None else None,
+            num_vertices=coo.num_vertices,
+        )
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.col_idx.shape[0])
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree per vertex id."""
+        return np.diff(self.row_ptr).astype(np.int64)
+
+    # -- flat-array access -------------------------------------------------------
+
+    def sources(self) -> np.ndarray:
+        """Source id per edge (the COO expansion of ``row_ptr``)."""
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.row_ptr)
+        )
+
+    def weights_or_zeros(self) -> np.ndarray:
+        if self.weights is not None:
+            return self.weights
+        return np.zeros(self.num_edges, dtype=np.int64)
+
+    def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted (destinations, weights) slice for one vertex (views)."""
+        v = int(vertex)
+        lo, hi = int(self.row_ptr[v]), int(self.row_ptr[v + 1])
+        if self.weights is not None:
+            return self.col_idx[lo:hi], self.weights[lo:hi]
+        return self.col_idx[lo:hi], np.zeros(hi - lo, dtype=np.int64)
+
+    def to_coo(self) -> COO:
+        return COO(
+            self.sources(),
+            self.col_idx.copy(),
+            self.num_vertices,
+            weights=None if self.weights is None else self.weights.copy(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "weighted" if self.weights is not None else "unweighted"
+        return f"CSRSnapshot(|V|={self.num_vertices}, |E|={self.num_edges}, {kind})"
+
+
+def as_snapshot(graph) -> CSRSnapshot:
+    """Coerce a graph-like object into a :class:`CSRSnapshot`.
+
+    Accepts (in priority order) an existing snapshot, anything exposing a
+    ``snapshot()`` method (the :class:`repro.api.Graph` facade and every
+    :class:`repro.api.GraphBackend`), or anything exposing ``export_coo``.
+    """
+    if isinstance(graph, CSRSnapshot):
+        return graph
+    snap = getattr(graph, "snapshot", None)
+    if callable(snap):
+        return snap()
+    return CSRSnapshot.from_coo(graph.export_coo())

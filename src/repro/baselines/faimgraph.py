@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.backend import GraphBackend, degree_array, scan_edge_weights
+from repro.api.capabilities import Capabilities
 from repro.coo import COO
 from repro.gpusim.counters import get_counters
 from repro.gpusim.memory import GrowableArray
@@ -41,8 +43,17 @@ PAGE_CAP_UNWEIGHTED = 30
 PAGE_CAP_WEIGHTED = 15
 
 
-class FaimGraph:
+class FaimGraph(GraphBackend):
     """faimGraph-like paged dynamic graph with page/id reuse queues."""
+
+    capabilities = Capabilities(
+        weighted=True,
+        vertex_dynamic=True,
+        vertex_id_reuse=True,
+    )
+
+    #: Maintained out-degrees (indexable array, callable per the protocol).
+    degree = degree_array()
 
     def __init__(self, num_vertices: int, weighted: bool = False) -> None:
         if num_vertices < 1:
@@ -193,6 +204,7 @@ class FaimGraph:
 
     def insert_edges(self, src, dst, weights=None) -> int:
         """Batched insertion with full-scan duplicate prevention."""
+        self._reject_weights_if_unweighted(weights)
         src = as_int_array(src, "src")
         dst = as_int_array(dst, "dst")
         check_equal_length(("src", src), ("dst", dst))
@@ -409,6 +421,22 @@ class FaimGraph:
         counters.scanned_elements += int(exist_dst.size)
         exist_comp = self._composite(verts[owner], exist_dst)
         return np.isin(self._composite(src, dst), exist_comp)
+
+    def edge_weights(self, src, dst) -> tuple[np.ndarray, np.ndarray]:
+        """(found, weight) per queried pair — a scan of the affected lists."""
+
+        def gather(verts):
+            owner, exist_dst, pages, lanes = self._gather(verts)
+            get_counters().scanned_elements += int(exist_dst.size)
+
+            def weight_at(idx):
+                if self._wt is None:
+                    return np.zeros(idx.shape[0], dtype=np.int64)
+                return self._wt.data[pages[idx], lanes[idx]]
+
+            return owner, exist_dst, weight_at
+
+        return scan_edge_weights(self, src, dst, gather)
 
     def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
         v = np.array([int(vertex)], dtype=np.int64)

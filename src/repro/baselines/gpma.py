@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.backend import GraphBackend, degree_array
+from repro.api.capabilities import Capabilities
 from repro.coo import COO
 from repro.gpusim.counters import get_counters
 from repro.util.errors import ValidationError
@@ -37,14 +39,26 @@ _LEAF_UPPER, _ROOT_UPPER = 0.92, 0.70
 _LEAF_LOWER, _ROOT_LOWER = 0.08, 0.30
 
 
-class GPMAGraph:
+class GPMAGraph(GraphBackend):
     """PMA-backed dynamic edge set with per-vertex degree tracking."""
 
-    def __init__(self, num_vertices: int, segment_size: int = 32) -> None:
+    capabilities = Capabilities(sorted_neighbors=True)
+
+    #: Maintained out-degrees (indexable array, callable per the protocol).
+    degree = degree_array()
+
+    def __init__(
+        self, num_vertices: int, segment_size: int = 32, weighted: bool = False
+    ) -> None:
         if num_vertices < 1:
             raise ValidationError("num_vertices must be positive")
         if segment_size < 4 or segment_size & (segment_size - 1):
             raise ValidationError("segment_size must be a power of two >= 4")
+        if weighted:
+            raise ValidationError(
+                "GPMAGraph stores an unweighted edge set (capability "
+                "weighted=False); construct with weighted=False"
+            )
         self.num_vertices = int(num_vertices)
         self.segment_size = int(segment_size)
         self._data = np.full(segment_size * 2, _EMPTY, dtype=np.int64)
@@ -154,8 +168,12 @@ class GPMAGraph:
     # -- updates ------------------------------------------------------------------------
 
     def insert_edges(self, src, dst, weights=None) -> int:
-        """Sorted-batch PMA insertion; returns edges newly added."""
-        del weights  # unweighted edge set
+        """Sorted-batch PMA insertion; returns edges newly added.
+
+        GPMA stores an unweighted edge set: passing weights is an error
+        (they used to be dropped silently, corrupting comparisons).
+        """
+        self._reject_weights_if_unweighted(weights)
         src = as_int_array(src, "src")
         dst = as_int_array(dst, "dst")
         check_equal_length(("src", src), ("dst", dst))
@@ -329,6 +347,11 @@ class GPMAGraph:
         counts = np.bincount(srcs, minlength=self.num_vertices)
         row_ptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         return row_ptr, col
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes in the PMA array (8 B per slot, gaps included)."""
+        return self.capacity * 8
 
     def density(self) -> float:
         """Live fraction of the PMA array (gap bookkeeping metric)."""

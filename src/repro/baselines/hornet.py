@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.backend import GraphBackend, degree_array, scan_edge_weights
+from repro.api.capabilities import Capabilities
 from repro.coo import COO
 from repro.gpusim.counters import get_counters
 from repro.gpusim.memory import GrowableArray
@@ -47,7 +49,7 @@ def _next_pow2(x: np.ndarray) -> np.ndarray:
     return np.int64(1) << np.ceil(np.log2(x)).astype(np.int64)
 
 
-class HornetGraph:
+class HornetGraph(GraphBackend):
     """Hornet-like block-per-vertex dynamic graph.
 
     Parameters
@@ -57,6 +59,11 @@ class HornetGraph:
     weighted:
         Store a weight per edge.
     """
+
+    capabilities = Capabilities(weighted=True)
+
+    #: Maintained out-degrees (indexable array, callable per the protocol).
+    degree = degree_array()
 
     def __init__(self, num_vertices: int, weighted: bool = True) -> None:
         if num_vertices < 1:
@@ -184,6 +191,7 @@ class HornetGraph:
         update the weight (matching the replace semantics the paper's own
         structure uses, so comparisons are apples-to-apples).
         """
+        self._reject_weights_if_unweighted(weights)
         src = as_int_array(src, "src")
         dst = as_int_array(dst, "dst")
         check_equal_length(("src", src), ("dst", dst))
@@ -329,6 +337,22 @@ class HornetGraph:
         exist_comp = self._composite(verts[owner], exist_dst)
         query_comp = self._composite(src, dst)
         return np.isin(query_comp, exist_comp)
+
+    def edge_weights(self, src, dst) -> tuple[np.ndarray, np.ndarray]:
+        """(found, weight) per queried pair — a scan of the affected lists."""
+
+        def gather(verts):
+            owner, exist_dst, exist_pos = self._gather_adjacency(verts)
+            get_counters().scanned_elements += int(exist_dst.size)
+
+            def weight_at(idx):
+                if self._wt is None:
+                    return np.zeros(idx.shape[0], dtype=np.int64)
+                return self._wt.data[exist_pos[idx]]
+
+            return owner, exist_dst, weight_at
+
+        return scan_edge_weights(self, src, dst, gather)
 
     def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
         v = int(vertex)

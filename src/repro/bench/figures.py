@@ -25,8 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analytics.triangle_count import triangle_count_hash
+from repro.api import create as create_backend
 from repro.bench.harness import time_call
-from repro.core import DynamicGraph
 from repro.datasets.rmat import rmat_graph
 
 __all__ = [
@@ -70,7 +70,9 @@ def figure2_sweep(scale: int = 12, seed: int = 0) -> list[LoadFactorPoint]:
     for ef in EDGE_FACTORS:
         coo = rmat_graph(scale, ef, seed=seed)
         for lf in LOAD_FACTORS:
-            g = DynamicGraph(coo.num_vertices, weighted=True, load_factor=lf)
+            g = create_backend(
+                "slabhash", coo.num_vertices, weighted=True, load_factor=lf
+            )
             rec, _ = time_call("build", g.bulk_build, coo, items=coo.num_edges)
             st = g.stats()
             points.append(
@@ -93,7 +95,9 @@ def figure3_sweep(scale: int = 11, seed: int = 0) -> list[LoadFactorPoint]:
     for ef in TC_EDGE_FACTORS:
         coo = rmat_graph(scale, ef, seed=seed).symmetrized().deduplicated()
         for lf in LOAD_FACTORS:
-            g = DynamicGraph(coo.num_vertices, weighted=False, load_factor=lf)
+            g = create_backend(
+                "slabhash", coo.num_vertices, weighted=False, load_factor=lf
+            )
             rec_b, _ = time_call("build", g.bulk_build, coo, items=coo.num_edges)
             st = g.stats()
             rec_tc, _ = time_call("tc", triangle_count_hash, g)

@@ -16,9 +16,12 @@ for the guard to hold at |V| = 1e6.
 
 Usage::
 
-    PYTHONPATH=src python -m repro.bench.regression
+    PYTHONPATH=src python -m repro.bench.regression [--backend slabhash]
 
 or via the pytest entry in ``benchmarks/bench_regression_scaling.py``.
+The guard defaults to the slab-hash structure (whose claim it protects)
+but can measure any registered backend by name through :mod:`repro.api` —
+useful for quantifying how the baselines' per-batch costs scale.
 """
 
 from __future__ import annotations
@@ -28,8 +31,8 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.api import create as _create_backend
 from repro.bench.harness import format_table
-from repro.core import DynamicGraph
 
 __all__ = [
     "ScalingPoint",
@@ -74,7 +77,7 @@ def _make_batches(capacity: int, batch_size: int, num_batches: int, seed: int):
     ]
 
 
-def _warm(graph: DynamicGraph, batches, capacity: int, batch_size: int, seed: int) -> None:
+def _warm(graph, batches, capacity: int, batch_size: int, seed: int) -> None:
     """Untimed setup: register vertices, materialize pages, warm the paths.
 
     Three distinct warm-ups, all part of setup per the paper's methodology:
@@ -88,27 +91,35 @@ def _warm(graph: DynamicGraph, batches, capacity: int, batch_size: int, seed: in
       first-touch page faults are not per-batch cost);
     - two throwaway batches exercise the full insert path (slab pool, code
       caches) before the clock starts.
+
+    The dictionary-specific steps apply to the slab-hash structure only;
+    other backends get the throwaway-batch warm-up.
     """
-    vd = graph._dict
-    vd.edge_count.fill(0)
-    vd.active.fill(False)
-    vd.arena.table_buckets.fill(0)
-    all_src = np.concatenate([src for src, _ in batches])
-    graph.insert_vertices(np.unique(all_src))
+    if hasattr(graph, "_dict"):
+        vd = graph._dict
+        vd.edge_count.fill(0)
+        vd.active.fill(False)
+        vd.arena.table_buckets.fill(0)
+        all_src = np.concatenate([src for src, _ in batches])
+        graph.insert_vertices(np.unique(all_src))
     for src, dst in _make_batches(capacity, batch_size, 2, seed ^ 0xBEEF):
         graph.insert_edges(src, dst)
 
 
-def _run_once(capacity: int, batch_size: int, num_batches: int, seed: int) -> float:
+def _run_once(
+    capacity: int, batch_size: int, num_batches: int, seed: int, backend: str
+) -> float:
     """One timed streaming run: insert batches, delete a batch, poll sizes."""
-    graph = DynamicGraph(num_vertices=capacity, weighted=False)
+    graph = _create_backend(backend, capacity, weighted=False)
     batches = _make_batches(capacity, batch_size, num_batches, seed)
     _warm(graph, batches, capacity, batch_size, seed)
+    poll_active = hasattr(graph, "num_active_vertices")
     t0 = perf_counter()
     for src, dst in batches:
         graph.insert_edges(src, dst)
         graph.num_edges()
-        graph.num_active_vertices()
+        if poll_active:
+            graph.num_active_vertices()
     # One delete batch keeps the deletion path under the same guard.
     src, dst = batches[0]
     graph.delete_edges(src, dst)
@@ -121,16 +132,19 @@ def measure_update_scaling(
     num_batches: int = 16,
     repeats: int = 3,
     seed: int = 0x5CA1E,
+    backend: str = "slabhash",
 ) -> list[ScalingPoint]:
     """Measure updates/sec at each capacity; best-of-``repeats`` wall clock.
 
     Graph construction and batch generation happen outside the timed
     region (the paper's methodology: setup is not part of the update cost).
+    Any registered backend name works; the default is the structure whose
+    O(batch) claim the guard protects.
     """
     points = []
     for cap in capacities:
         best = min(
-            _run_once(int(cap), batch_size, num_batches, seed + r)
+            _run_once(int(cap), batch_size, num_batches, seed + r, backend)
             for r in range(repeats)
         )
         points.append(ScalingPoint(int(cap), batch_size, num_batches, best))
@@ -150,15 +164,25 @@ def throughput_ratio(points: list[ScalingPoint]) -> float:
     return ordered[0].updates_per_sec / ordered[-1].updates_per_sec
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
-    points = measure_update_scaling()
+def main(argv=None) -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        default="slabhash",
+        help="registered backend name to measure (default: slabhash)",
+    )
+    args = parser.parse_args(argv)
+    points = measure_update_scaling(backend=args.backend)
     rows = [
         [f"{p.capacity:,}", p.batch_size, p.num_batches, p.seconds * 1e3, p.updates_per_sec / 1e6]
         for p in points
     ]
     print(
         format_table(
-            "Update-throughput scaling (fixed batch size, growing |V|)",
+            f"Update-throughput scaling for {args.backend!r} "
+            "(fixed batch size, growing |V|)",
             ["|V| capacity", "batch", "batches", "wall ms", "M updates/s"],
             rows,
         )

@@ -18,6 +18,7 @@ from repro.analytics.triangle_count import (
     triangle_count_hash,
     triangle_count_sorted,
 )
+from repro.api import create as create_backend
 from repro.baselines.sorting import faimgraph_page_sort, segmented_sort_csr
 from repro.bench.harness import mean, time_call
 from repro.bench.workloads import (
@@ -27,7 +28,6 @@ from repro.bench.workloads import (
     random_vertex_batch,
 )
 from repro.coo import COO
-from repro.core import DynamicGraph
 from repro.datasets.registry import DATASET_ORDER, DATASETS
 
 __all__ = [
@@ -131,7 +131,9 @@ def table4_vertex_deletion(seed: int = 0):
             vids = random_vertex_batch(coo.num_vertices, batch, seed=seed ^ batch)
             for structure in ("faimgraph", "ours"):
                 if structure == "ours":
-                    g = DynamicGraph(coo.num_vertices, weighted=False, directed=False)
+                    g = create_backend(
+                        "slabhash", coo.num_vertices, weighted=False, directed=False
+                    )
                     g.bulk_build(_half(coo))
                 else:
                     g = bulk_built_structure(structure, coo, weighted=False)
@@ -227,7 +229,7 @@ def table7_static_triangle_counting(seed: int = 0, datasets=None):
         rp_f, ci_f = g_f.sorted_adjacency()
         rec_f, tri_f = time_call("faim", triangle_count_sorted, rp_f, ci_f)
 
-        g_o = DynamicGraph(coo.num_vertices, weighted=False)  # set variant
+        g_o = make_structure("slabhash", coo.num_vertices)  # set variant
         g_o.bulk_build(coo)
         rec_o, tri_o = time_call("ours", triangle_count_hash, g_o)
         assert tri_h == tri_f == tri_o, (name, tri_h, tri_f, tri_o)
@@ -294,7 +296,7 @@ def table9_dynamic_triangle_counting(seed: int = 0, num_batches: int = 5):
             for _ in range(num_batches)
         ]
 
-        g_o = DynamicGraph(coo.num_vertices, weighted=False)
+        g_o = make_structure("slabhash", coo.num_vertices)
         g_o.bulk_build(coo)
         steps_o = dynamic_triangle_count(g_o, batches, mode="hash")
 

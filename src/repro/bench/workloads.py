@@ -7,17 +7,17 @@ graph" — :func:`random_edge_batch` is exactly that.  Vertex-deletion
 batches sample existing vertex ids without replacement.
 
 :func:`make_structure` is the uniform factory the benches use to pit the
-structures against each other on identical inputs.
+structures against each other on identical inputs; it delegates to the
+:mod:`repro.api` registry, so any registered backend name (or alias, e.g.
+the legacy ``"ours"`` for ``"slabhash"``) works.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import FaimGraph, GPMAGraph, HornetGraph
+from repro.api import create as _create_backend
 from repro.coo import COO
-from repro.core import DynamicGraph
-from repro.util.errors import ValidationError
 
 __all__ = [
     "random_edge_batch",
@@ -27,7 +27,8 @@ __all__ = [
     "STRUCTURES",
 ]
 
-#: Names accepted by :func:`make_structure`.
+#: The bench comparison set (paper structures measured head-to-head);
+#: :func:`make_structure` additionally accepts every registered backend.
 STRUCTURES = ("ours", "hornet", "faimgraph", "gpma")
 
 
@@ -52,16 +53,8 @@ def random_vertex_batch(num_vertices: int, batch_size: int, seed: int = 0) -> np
 
 
 def make_structure(name: str, num_vertices: int, weighted: bool = False):
-    """Instantiate a dynamic structure by bench name."""
-    if name == "ours":
-        return DynamicGraph(num_vertices, weighted=weighted)
-    if name == "hornet":
-        return HornetGraph(num_vertices, weighted=weighted)
-    if name == "faimgraph":
-        return FaimGraph(num_vertices, weighted=weighted)
-    if name == "gpma":
-        return GPMAGraph(num_vertices)
-    raise ValidationError(f"unknown structure {name!r}; choose from {STRUCTURES}")
+    """Instantiate a dynamic structure by registered backend name."""
+    return _create_backend(name, num_vertices, weighted=weighted)
 
 
 def bulk_built_structure(name: str, coo: COO, weighted: bool = False):

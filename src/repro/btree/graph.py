@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.backend import GraphBackend
+from repro.api.capabilities import Capabilities
 from repro.btree.tree import BPlusTreeArena
 from repro.coo import COO
 from repro.gpusim.counters import get_counters
@@ -26,8 +28,15 @@ from repro.util.validation import as_int_array, check_equal_length, check_in_ran
 __all__ = ["BTreeGraph"]
 
 
-class BTreeGraph:
+class BTreeGraph(GraphBackend):
     """B-tree-per-vertex dynamic graph (sorted adjacency maintained)."""
+
+    capabilities = Capabilities(
+        weighted=True,
+        vertex_dynamic=True,
+        sorted_neighbors=True,
+        range_queries=True,
+    )
 
     def __init__(self, num_vertices: int, weighted: bool = True) -> None:
         if num_vertices < 1:
@@ -40,6 +49,7 @@ class BTreeGraph:
     # -- helpers ---------------------------------------------------------------
 
     def _prep(self, src, dst, weights):
+        self._reject_weights_if_unweighted(weights)
         src = as_int_array(src, "src")
         dst = as_int_array(dst, "dst")
         check_equal_length(("src", src), ("dst", dst))
@@ -136,8 +146,9 @@ class BTreeGraph:
         return keys
 
     def degree(self, vertex_ids) -> np.ndarray:
-        vids = np.atleast_1d(np.asarray(vertex_ids, dtype=np.int64))
-        return np.array([self._arena.count(int(v)) for v in vids], dtype=np.int64)
+        vids = as_int_array(vertex_ids, "vertex_ids")
+        check_in_range(vids, 0, self.num_vertices, "vertex_ids")
+        return np.array([self._arena.count(int(v)) for v in vids.tolist()], dtype=np.int64)
 
     def num_edges(self) -> int:
         return int(self._arena._count.sum())

@@ -40,6 +40,7 @@ __all__ = ["insert_edges", "delete_edges"]
 
 
 def _prepare(graph, src, dst, weights):
+    graph._reject_weights_if_unweighted(weights)
     src = as_int_array(src, "src")
     dst = as_int_array(dst, "dst")
     n = check_equal_length(("src", src), ("dst", dst))

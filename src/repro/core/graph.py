@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.backend import GraphBackend
+from repro.api.capabilities import Capabilities
 from repro.coo import COO
 from repro.core import bulk as _bulk
 from repro.core import edge_ops as _edge_ops
@@ -31,7 +33,7 @@ from repro.util.validation import as_int_array, check_in_range
 __all__ = ["DynamicGraph"]
 
 
-class DynamicGraph:
+class DynamicGraph(GraphBackend):
     """A hash-table-per-vertex dynamic graph.
 
     Parameters
@@ -57,6 +59,14 @@ class DynamicGraph:
     >>> bool(g.edge_exists(0, 1)[0])
     True
     """
+
+    capabilities = Capabilities(
+        weighted=True,
+        vertex_dynamic=True,
+        rehash=True,
+        tombstone_flush=True,
+        vertex_id_reuse=True,
+    )
 
     def __init__(
         self,
@@ -88,6 +98,11 @@ class DynamicGraph:
     @property
     def vertex_capacity(self) -> int:
         """Current dictionary capacity (ids addressable without growth)."""
+        return self._dict.capacity
+
+    @property
+    def num_vertices(self) -> int:
+        """Protocol name for :attr:`vertex_capacity` (GraphBackend)."""
         return self._dict.capacity
 
     def num_edges(self) -> int:

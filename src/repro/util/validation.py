@@ -18,7 +18,18 @@ def as_int_array(x, name: str = "array", dtype=np.int64) -> np.ndarray:
 
     Accepts lists, scalars, and arrays; rejects floats with fractional parts
     and anything not 1-D after ``atleast_1d``.
+
+    Already-clean arrays (1-D, contiguous, right dtype) pass through
+    untouched, so batches normalized once by the :class:`repro.api.Graph`
+    facade cost nothing to re-validate at the backend boundary.
     """
+    if (
+        isinstance(x, np.ndarray)
+        and x.dtype == dtype
+        and x.ndim == 1
+        and x.flags.c_contiguous
+    ):
+        return x
     arr = np.atleast_1d(np.asarray(x))
     if arr.ndim != 1:
         raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")

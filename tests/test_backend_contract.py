@@ -1,0 +1,368 @@
+"""Cross-backend contract suite: every registered backend, one scenario.
+
+The :mod:`repro.api` registry promises that any backend constructed by
+name implements the :class:`repro.api.GraphBackend` surface with identical
+semantics (self-loop drop, replace-on-duplicate, exact counts) and that
+its :class:`repro.api.Capabilities` flags match actual behavior — a flag
+is a lie if the operation it advertises raises, or if a disabled flag's
+operation silently succeeds.  This suite runs the same
+insert/delete/query/export scenario over **all** registered backends so a
+new backend (or a regression in an old one) fails loudly here rather than
+deep inside the bench harness.
+"""
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.analytics import (
+    bfs,
+    connected_components,
+    core_numbers,
+    pagerank,
+    triangle_count_csr,
+)
+from repro.api import Graph, GraphBackend, as_snapshot
+from repro.util.errors import ValidationError
+
+ALL_BACKENDS = sorted(api.backend_names())
+N = 32
+
+#: A fixed scenario batch: duplicates (0,1), one self-loop (2,2).
+SRC = [0, 0, 1, 2, 2, 3]
+DST = [1, 1, 2, 2, 0, 4]
+UNIQUE_EDGES = {(0, 1), (1, 2), (2, 0), (3, 4)}
+
+
+def make(name, weighted=False):
+    return api.create(name, num_vertices=N, weighted=weighted)
+
+
+def edge_set(g):
+    coo = g.export_coo()
+    return set(zip(coo.src.tolist(), coo.dst.tolist()))
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+class TestProtocolSurface:
+    def test_is_graph_backend(self, name):
+        g = make(name)
+        assert isinstance(g, GraphBackend)
+        assert g.num_vertices == N
+
+    def test_insert_semantics(self, name):
+        g = make(name)
+        added = g.insert_edges(SRC, DST)
+        assert added == len(UNIQUE_EDGES)  # self-loop dropped, dup collapsed
+        assert g.num_edges() == len(UNIQUE_EDGES)
+        assert edge_set(g) == UNIQUE_EDGES
+        # Re-inserting is idempotent (replace semantics).
+        assert g.insert_edges(SRC, DST) == 0
+        assert g.num_edges() == len(UNIQUE_EDGES)
+
+    def test_queries(self, name):
+        g = make(name)
+        g.insert_edges(SRC, DST)
+        assert g.edge_exists([0, 1, 0, 9], [1, 2, 9, 0]).tolist() == [
+            True,
+            True,
+            False,
+            False,
+        ]
+        assert g.degree([0, 1, 2, 3, 9]).tolist() == [1, 1, 1, 1, 0]
+        dsts, _ = g.neighbors(2)
+        assert sorted(dsts.tolist()) == [0]
+        owner, dsts, _ = g.adjacencies(np.array([0, 1, 9]))
+        got = sorted(zip(owner.tolist(), dsts.tolist()))
+        assert got == [(0, 1), (1, 2)]
+
+    def test_delete_semantics(self, name):
+        g = make(name)
+        g.insert_edges(SRC, DST)
+        removed = g.delete_edges([0, 0, 7], [1, 1, 8])  # dup + absent
+        assert removed == 1
+        assert g.num_edges() == len(UNIQUE_EDGES) - 1
+        assert not g.edge_exists([0], [1])[0]
+
+    def test_export_and_sorted_adjacency_agree(self, name):
+        g = make(name)
+        g.insert_edges(SRC, DST)
+        row_ptr, col = g.sorted_adjacency()
+        assert row_ptr.shape[0] == N + 1
+        assert int(row_ptr[-1]) == g.num_edges()
+        rebuilt = set()
+        for v in range(N):
+            for d in col[row_ptr[v] : row_ptr[v + 1]].tolist():
+                rebuilt.add((v, d))
+        assert rebuilt == edge_set(g)
+        # Rows must be ascending.
+        for v in range(N):
+            row = col[row_ptr[v] : row_ptr[v + 1]]
+            assert np.all(np.diff(row) > 0)
+
+    def test_bulk_build_matches_incremental(self, name):
+        rng = np.random.default_rng(7)
+        src = rng.integers(0, N, 100)
+        dst = rng.integers(0, N, 100)
+        from repro.coo import COO
+
+        g_bulk = make(name)
+        g_bulk.bulk_build(COO(src, dst, N))
+        g_inc = make(name)
+        g_inc.insert_edges(src, dst)
+        assert edge_set(g_bulk) == edge_set(g_inc)
+        assert g_bulk.num_edges() == g_inc.num_edges()
+
+    def test_memory_bytes_reported(self, name):
+        g = make(name)
+        g.insert_edges(SRC, DST)
+        assert isinstance(g.memory_bytes(), int)
+        assert g.memory_bytes() > 0
+
+    def test_snapshot_view(self, name):
+        g = make(name)
+        g.insert_edges(SRC, DST)
+        snap = g.snapshot()
+        assert snap.num_vertices == N
+        assert snap.num_edges == g.num_edges()
+        assert set(zip(snap.sources().tolist(), snap.col_idx.tolist())) == edge_set(g)
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+class TestCapabilityFlagsMatchBehavior:
+    def test_weighted_flag(self, name):
+        caps = api.capabilities(name)
+        if caps.weighted:
+            g = make(name, weighted=True)
+            g.insert_edges([0, 1], [1, 2], weights=[11, 22])
+            found, w = g.edge_weights([0, 1, 5], [1, 2, 6])
+            assert found.tolist() == [True, True, False]
+            assert w[:2].tolist() == [11, 22]
+            # Replace semantics: the most recent weight wins.
+            g.insert_edges([0], [1], weights=[99])
+            _, w = g.edge_weights([0], [1])
+            assert w.tolist() == [99]
+        else:
+            with pytest.raises(ValidationError):
+                make(name, weighted=True)
+        # Every backend, configured unweighted, must reject weights loudly.
+        g = make(name, weighted=False)
+        with pytest.raises(ValidationError):
+            g.insert_edges([0], [1], weights=[5])
+
+    def test_vertex_dynamic_flag(self, name):
+        caps = api.capabilities(name)
+        g = make(name)
+        # Symmetric edge set so undirected-semantics deletion is well-posed.
+        g.insert_edges([0, 1, 1, 2], [1, 0, 2, 1])
+        if caps.vertex_dynamic:
+            g.delete_vertices([1])
+            assert not g.edge_exists([0, 2, 1, 1], [1, 1, 0, 2]).any()
+        else:
+            with pytest.raises(NotImplementedError):
+                g.delete_vertices([1])
+
+    def test_sorted_neighbors_flag(self, name):
+        if not api.capabilities(name).sorted_neighbors:
+            pytest.skip("order not guaranteed for this backend")
+        g = make(name)
+        rng = np.random.default_rng(3)
+        dsts = rng.permutation(np.arange(1, 20))
+        g.insert_edges(np.zeros(dsts.size, np.int64), dsts)
+        got, _ = g.neighbors(0)
+        assert got.tolist() == sorted(got.tolist())
+
+    def test_range_queries_flag(self, name):
+        caps = api.capabilities(name)
+        g = make(name)
+        assert hasattr(g, "neighbor_range") == caps.range_queries
+
+    def test_maintenance_flags(self, name):
+        caps = api.capabilities(name)
+        g = make(name)
+        assert hasattr(g, "rehash") == caps.rehash
+        assert hasattr(g, "flush_tombstones") == caps.tombstone_flush
+
+    def test_instance_capabilities_narrow_weighted(self, name):
+        g = make(name, weighted=False)
+        assert not g.instance_capabilities().weighted
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+class TestFacade:
+    def test_create_and_roundtrip(self, name):
+        g = Graph.create(name, num_vertices=N)
+        assert g.insert_edges(SRC, DST) == len(UNIQUE_EDGES)
+        assert g.num_edges() == len(UNIQUE_EDGES)
+        assert g.edge_exists([0], [1])[0]
+        assert g.degree([0]).tolist() == [1]
+        assert g.memory_bytes() > 0
+
+    def test_self_loop_error_policy(self, name):
+        g = Graph.create(name, num_vertices=N, self_loops="error")
+        with pytest.raises(ValidationError):
+            g.insert_edges([2], [2])
+
+    def test_unweighted_rejects_weights(self, name):
+        g = Graph.create(name, num_vertices=N, weighted=False)
+        with pytest.raises(ValidationError):
+            g.insert_edges([0], [1], weights=[3])
+
+    def test_weight_defaulting(self, name):
+        caps = api.capabilities(name)
+        if not caps.weighted:
+            pytest.skip("unweighted backend")
+        g = Graph.create(name, num_vertices=N, weighted=True, default_weight=7)
+        g.insert_edges([0], [1])  # no weights given -> default fills
+        _, w = g.edge_weights([0], [1])
+        assert w.tolist() == [7]
+
+    def test_bounds_validated_once(self, name):
+        g = Graph.create(name, num_vertices=N)
+        with pytest.raises(ValidationError):
+            g.insert_edges([0], [N + 5])
+        with pytest.raises(ValidationError):
+            g.delete_edges([-1], [0])
+        with pytest.raises(ValidationError):
+            g.edge_exists([N], [0])
+        with pytest.raises(ValidationError):
+            g.degree([N])
+        with pytest.raises(ValidationError):
+            g.degree([-1])
+
+    def test_capability_gated_maintenance(self, name):
+        g = Graph.create(name, num_vertices=N)
+        caps = g.capabilities
+        if not caps.rehash:
+            with pytest.raises(ValidationError):
+                g.rehash()
+        if not caps.tombstone_flush:
+            with pytest.raises(ValidationError):
+                g.flush_tombstones()
+        if not caps.vertex_dynamic:
+            with pytest.raises(ValidationError):
+                g.delete_vertices([0])
+
+
+class TestAnalyticsAcrossBackends:
+    """The same analytics answers from every backend's snapshot."""
+
+    @pytest.fixture(scope="class")
+    def symmetric_batch(self):
+        rng = np.random.default_rng(11)
+        s = rng.integers(0, N, 120)
+        d = rng.integers(0, N, 120)
+        keep = s != d
+        s, d = s[keep], d[keep]
+        return np.concatenate([s, d]), np.concatenate([d, s])
+
+    @pytest.fixture(scope="class")
+    def graphs(self, symmetric_batch):
+        out = {}
+        for name in ALL_BACKENDS:
+            g = Graph.create(name, num_vertices=N)
+            g.insert_edges(*symmetric_batch)
+            out[name] = g
+        return out
+
+    def test_snapshots_identical(self, graphs):
+        snaps = {n: g.snapshot() for n, g in graphs.items()}
+        ref = snaps[ALL_BACKENDS[0]]
+        for name, snap in snaps.items():
+            assert np.array_equal(snap.row_ptr, ref.row_ptr), name
+            assert np.array_equal(snap.col_idx, ref.col_idx), name
+
+    def test_pagerank_agrees(self, graphs):
+        ranks = [pagerank(g) for g in graphs.values()]
+        for r in ranks[1:]:
+            assert np.allclose(r, ranks[0])
+
+    def test_connected_components_agree(self, graphs):
+        labels = [connected_components(g) for g in graphs.values()]
+        for lab in labels[1:]:
+            assert np.array_equal(lab, labels[0])
+
+    def test_core_numbers_agree(self, graphs):
+        cores = [core_numbers(g) for g in graphs.values()]
+        for c in cores[1:]:
+            assert np.array_equal(c, cores[0])
+
+    def test_triangle_count_agrees(self, graphs):
+        counts = {n: triangle_count_csr(g) for n, g in graphs.items()}
+        assert len(set(counts.values())) == 1, counts
+
+    def test_bfs_agrees(self, graphs):
+        dists = [bfs(g, 0) for g in graphs.values()]
+        for d in dists[1:]:
+            assert np.array_equal(d, dists[0])
+
+    def test_kcore_counts_agree(self, symmetric_batch):
+        from repro.analytics import kcore
+
+        results = {}
+        for name in ALL_BACKENDS:
+            if not api.capabilities(name).vertex_dynamic:
+                continue
+            g = Graph.create(name, num_vertices=N)
+            g.insert_edges(*symmetric_batch)
+            results[name] = (kcore(g.backend, 3), g.num_edges())
+        assert len(results) >= 3  # slabhash, btree, faimgraph
+        assert len(set(results.values())) == 1, results
+
+    def test_as_snapshot_accepts_all_forms(self, graphs):
+        g = graphs[ALL_BACKENDS[0]]
+        snap = g.snapshot()
+        assert as_snapshot(snap) is snap
+        assert as_snapshot(g).num_edges == snap.num_edges
+        assert as_snapshot(g.backend).num_edges == snap.num_edges
+
+
+class TestRegistry:
+    def test_aliases_resolve(self):
+        assert api.get_spec("ours").name == "slabhash"
+        assert api.get_spec("faim").name == "faimgraph"
+        assert api.get_spec("SLABHASH").name == "slabhash"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValidationError):
+            api.create("no-such-structure", num_vertices=4)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValidationError):
+            api.register("slabhash", lambda: None)
+
+    def test_alias_cannot_hijack_existing_name(self):
+        # A new registration must not shadow an existing backend via aliases.
+        with pytest.raises(ValidationError):
+            api.register("evil", lambda: None, aliases=("slabhash",))
+        assert api.get_spec("slabhash").name == "slabhash"
+        with pytest.raises(ValidationError):
+            api.register("evil2", lambda: None, aliases=("ours",))
+
+    def test_overwrite_reclaims_alias(self):
+        # Overwriting a name that was an alias must purge the stale alias
+        # entry, or get_spec would silently keep resolving to the old spec.
+        slab_cls = api.get_spec("slabhash").cls()
+        try:
+            api.register("ours", slab_cls, overwrite=True, description="reclaimed")
+            assert api.get_spec("ours").description == "reclaimed"
+        finally:
+            api.registry._REGISTRY.pop("ours", None)
+            api.registry._ALIASES["ours"] = "slabhash"
+        assert api.get_spec("ours").name == "slabhash"
+
+    def test_register_custom_backend(self):
+        class Toy(api.create("slabhash", num_vertices=1).__class__):
+            pass
+
+        api.register("toy-backend", Toy, overwrite=True)
+        try:
+            g = api.create("toy-backend", num_vertices=8)
+            assert isinstance(g, Toy)
+            assert "toy-backend" in api.backend_names()
+        finally:
+            api.registry._REGISTRY.pop("toy-backend", None)
+
+    def test_legacy_import_shim(self):
+        with pytest.warns(DeprecationWarning):
+            from repro import DynamicGraph  # noqa: F401

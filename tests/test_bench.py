@@ -46,7 +46,12 @@ class TestWorkloads:
 
     def test_make_structure_unknown(self):
         with pytest.raises(ValidationError):
-            make_structure("btree", 16)
+            make_structure("no-such-backend", 16)
+
+    def test_make_structure_btree_registered(self):
+        # The registry opened the factory to every backend, btree included.
+        g = make_structure("btree", 16)
+        assert g.num_edges() == 0
 
     def test_bulk_built_structure(self, rng):
         coo = COO(rng.integers(0, 30, 100), rng.integers(0, 30, 100), 30)

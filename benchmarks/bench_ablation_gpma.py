@@ -7,7 +7,6 @@ searches over one sorted array.  Expected shape: ours wins updates; GPMA
 is competitive on point queries.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.workloads import bulk_built_structure, random_edge_batch

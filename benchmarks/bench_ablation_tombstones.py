@@ -63,6 +63,4 @@ def test_tradeoff_memory_vs_flush_cost():
     # Both policies expose the same live edge set.
     a = g_keep.export_coo()
     b = g_flush.export_coo()
-    assert set(zip(a.src.tolist(), a.dst.tolist())) == set(
-        zip(b.src.tolist(), b.dst.tolist())
-    )
+    assert set(zip(a.src.tolist(), a.dst.tolist())) == set(zip(b.src.tolist(), b.dst.tolist()))

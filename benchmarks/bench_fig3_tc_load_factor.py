@@ -29,9 +29,7 @@ def sweep():
 
 def test_fig3_high_load_factor_slow(sweep):
     for ef in {p.edge_factor for p in sweep}:
-        series = sorted(
-            (p for p in sweep if p.edge_factor == ef), key=lambda p: p.load_factor
-        )
+        series = sorted((p for p in sweep if p.edge_factor == ef), key=lambda p: p.load_factor)
         by_lf = {p.load_factor: p.tc_seconds for p in series}
         assert by_lf[5.0] > by_lf[0.7]
 

@@ -31,7 +31,8 @@ def test_edge_insertion_throughput(benchmark, dataset_cache, structure):
 
 
 def test_table2_shape(dataset_cache):
-    headers, rows = table2_edge_insertion(datasets=subset(dataset_cache, REPRESENTATIVE))
+    art = table2_edge_insertion(datasets=subset(dataset_cache, REPRESENTATIVE))
+    headers, rows = art.headers, art.rows
     assert headers[1:] == ["Hornet", "faimGraph", "Ours"]
     ratios = []
     for batch_label, hornet, faim, ours in rows:

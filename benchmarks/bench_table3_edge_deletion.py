@@ -30,7 +30,8 @@ def test_edge_deletion_throughput(benchmark, dataset_cache, structure):
 
 
 def test_table3_shape(dataset_cache):
-    headers, rows = table3_edge_deletion(datasets=subset(dataset_cache, REPRESENTATIVE))
+    art = table3_edge_deletion(datasets=subset(dataset_cache, REPRESENTATIVE))
+    headers, rows = art.headers, art.rows
     first, last = rows[0], rows[-1]
     # Small batches: ours clearly ahead of both list structures.
     assert first[3] > 3 * first[1]

@@ -41,7 +41,8 @@ def test_vertex_deletion_throughput(benchmark, dataset_cache, structure):
 
 
 def test_table4_shape():
-    headers, rows = table4_vertex_deletion()
+    art = table4_vertex_deletion()
+    headers, rows = art.headers, art.rows
     assert headers == ["Batch size", "faimGraph", "Ours"]
     for label, faim, ours in rows:
         assert ours > faim, label

@@ -28,7 +28,8 @@ def test_bulk_build_wall_clock(benchmark, dataset_cache, structure):
 
 
 def test_table5_shape(dataset_cache):
-    headers, rows = table5_bulk_build(datasets=subset(dataset_cache, REPRESENTATIVE))
+    art = table5_bulk_build(datasets=subset(dataset_cache, REPRESENTATIVE))
+    headers, rows = art.headers, art.rows
     for name, hornet_ms, ours_ms in rows:
         assert ours_ms < hornet_ms, name
         # Paper speedups are 2-30x; allow a wider band for the scaled run.

@@ -33,7 +33,8 @@ def test_incremental_build_wall_clock(benchmark, dataset_cache, structure):
 
 
 def test_table6_shape():
-    headers, rows = table6_incremental_build()
+    art = table6_incremental_build()
+    headers, rows = art.headers, art.rows
     assert headers == ["Batch size", "Hornet", "Ours"]
     for label, hornet, ours in rows:
         assert ours > 2 * hornet, label

@@ -30,9 +30,8 @@ def test_static_tc_wall_clock(benchmark, dataset_cache, method):
 
 
 def test_table7_shape(dataset_cache):
-    headers, rows = table7_static_triangle_counting(
-        datasets=subset(dataset_cache, REPRESENTATIVE)
-    )
+    art = table7_static_triangle_counting(datasets=subset(dataset_cache, REPRESENTATIVE))
+    headers, rows = art.headers, art.rows
     slower = 0
     for name, hornet_ms, faim_ms, ours_ms, triangles in rows:
         assert triangles >= 0

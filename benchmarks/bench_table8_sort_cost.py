@@ -33,7 +33,8 @@ def test_sort_wall_clock(benchmark, dataset_cache, method):
 
 def test_table8_crossover(dataset_cache):
     names = ["germany_osm", "road_usa", "soc-orkut", "hollywood-2009"]
-    headers, rows = table8_sort_cost(datasets=subset(dataset_cache, names))
+    art = table8_sort_cost(datasets=subset(dataset_cache, names))
+    headers, rows = art.headers, art.rows
     by_name = {r[0]: (r[1], r[2]) for r in rows}
     # Road networks: per-segment dispatch makes CSR sort far slower.
     for road in ("germany_osm", "road_usa"):

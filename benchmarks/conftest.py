@@ -8,7 +8,6 @@ is what EXPERIMENTS.md records against the paper.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.datasets.registry import DATASETS

@@ -70,7 +70,7 @@ def main() -> None:
         print(
             f"day {day}: closed {removed:4d}, reopened {reopened:4d}, "
             f"demolished junction {junction:5d} -> "
-            f"reachable {frac:.1%}"
+            f"reachable {frac:.1%}, {num_components} components"
         )
 
     st = g.stats()

@@ -18,7 +18,9 @@ from repro.util.errors import ValidationError
 __all__ = ["ktruss"]
 
 
-def _edge_support(row_ptr: np.ndarray, col_idx: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _edge_support(
+    row_ptr: np.ndarray, col_idx: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Support (triangles through each edge) for a sorted symmetric CSR.
 
     Returns (u, v, support) for each undirected edge u < v.

@@ -54,9 +54,7 @@ def scan_edge_weights(graph, src, dst, gather) -> tuple[np.ndarray, np.ndarray]:
     src = as_int_array(src, "src")
     dst = as_int_array(dst, "dst")
     if src.shape[0] != dst.shape[0]:
-        raise ValidationError(
-            f"length mismatch: src has {src.shape[0]}, dst has {dst.shape[0]}"
-        )
+        raise ValidationError(f"length mismatch: src has {src.shape[0]}, dst has {dst.shape[0]}")
     if src.size == 0:
         return np.empty(0, dtype=bool), np.empty(0, dtype=np.int64)
     check_in_range(src, 0, graph.num_vertices, "src")
@@ -133,9 +131,7 @@ def degree_array(doc: str | None = None) -> property:
     def fset(self, value):
         self._degree_view = np.asarray(value, dtype=np.int64).view(DegreeView)
 
-    return property(
-        fget, fset, doc=doc or "Per-vertex out-degree (indexable and callable)."
-    )
+    return property(fget, fset, doc=doc or "Per-vertex out-degree (indexable and callable).")
 
 
 class GraphBackend(abc.ABC):

@@ -90,9 +90,7 @@ class Graph:
         **backend_kwargs: Any,
     ) -> "Graph":
         """Construct a registered backend by name and wrap it."""
-        backend = _create_backend(
-            name, num_vertices, weighted=weighted, **backend_kwargs
-        )
+        backend = _create_backend(name, num_vertices, weighted=weighted, **backend_kwargs)
         return cls(
             backend,
             self_loops=self_loops,

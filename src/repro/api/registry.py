@@ -83,9 +83,7 @@ def register(
     if not overwrite:
         clashes = ({key} | {a.lower() for a in aliases}) & taken
         if clashes:
-            raise ValidationError(
-                f"backend name/alias already registered: {sorted(clashes)}"
-            )
+            raise ValidationError(f"backend name/alias already registered: {sorted(clashes)}")
     else:
         # Purge stale alias entries so the overwritten name/aliases resolve
         # to this registration (aliases win in get_spec, so leftovers from

@@ -58,9 +58,7 @@ class CSRSnapshot:
 
     def sources(self) -> np.ndarray:
         """Source id per edge (the COO expansion of ``row_ptr``)."""
-        return np.repeat(
-            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.row_ptr)
-        )
+        return np.repeat(np.arange(self.num_vertices, dtype=np.int64), np.diff(self.row_ptr))
 
     def weights_or_zeros(self) -> np.ndarray:
         if self.weights is not None:

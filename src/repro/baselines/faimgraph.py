@@ -183,7 +183,6 @@ class FaimGraph(GraphBackend):
         total_pages = int(pages_per.sum())
         pages = self._alloc_pages(total_pages)
         # Link chains: consecutive pages of a vertex are consecutive here.
-        page_owner = np.repeat(np.arange(verts.shape[0]), pages_per)
         starts = np.concatenate([[0], np.cumsum(pages_per)[:-1]])
         is_last = np.zeros(total_pages, dtype=bool)
         is_last[np.cumsum(pages_per) - 1] = True
@@ -276,7 +275,8 @@ class FaimGraph(GraphBackend):
             idx_in_grow = np.searchsorted(grow, fresh_owner)
             link_from_old = first_fresh & (prev_tail_rank[idx_in_grow] >= 0)
             if link_from_old.any():
-                tails = lookup[idx_in_grow[link_from_old], prev_tail_rank[idx_in_grow[link_from_old]]]
+                old_idx = idx_in_grow[link_from_old]
+                tails = lookup[old_idx, prev_tail_rank[old_idx]]
                 self._next.data[tails] = fresh[link_from_old]
             new_heads = first_fresh & (prev_tail_rank[idx_in_grow] < 0)
             if new_heads.any():

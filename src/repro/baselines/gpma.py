@@ -27,7 +27,6 @@ from repro.api.capabilities import Capabilities
 from repro.coo import COO
 from repro.gpusim.counters import get_counters
 from repro.util.errors import ValidationError
-from repro.util.groupby import last_occurrence_mask
 from repro.util.validation import as_int_array, check_equal_length, check_in_range
 
 __all__ = ["GPMAGraph"]
@@ -212,9 +211,7 @@ class GPMAGraph(GraphBackend):
         per_leaf = np.bincount(leaf, minlength=self._num_segments)
         self._apply_leaf_inserts(comp, leaf, per_leaf)
         self._count += added
-        self.degree += np.bincount(
-            (comp >> 32).astype(np.int64), minlength=self.num_vertices
-        )
+        self.degree += np.bincount((comp >> 32).astype(np.int64), minlength=self.num_vertices)
         return added
 
     def _apply_leaf_inserts(self, keys: np.ndarray, leaf: np.ndarray, per_leaf: np.ndarray):
@@ -238,7 +235,6 @@ class GPMAGraph(GraphBackend):
         for seg in np.flatnonzero(per_leaf):
             if handled[seg]:
                 continue
-            new_here = keys_by_leaf[starts[seg] : starts[seg + 1]]
             # Find the smallest enclosing window within its threshold.
             lo, hi, level = seg, seg + 1, 0
             while True:
@@ -284,9 +280,7 @@ class GPMAGraph(GraphBackend):
         gone = live[doomed]
         self._data[positions[doomed]] = _EMPTY
         self._count -= removed
-        self.degree -= np.bincount(
-            (gone >> 32).astype(np.int64), minlength=self.num_vertices
-        )
+        self.degree -= np.bincount((gone >> 32).astype(np.int64), minlength=self.num_vertices)
 
         # Lower-threshold maintenance: one root-level check (device pass).
         if self._count < _ROOT_LOWER * self.capacity and self.capacity > 2 * self.segment_size:

@@ -104,9 +104,7 @@ def faimgraph_page_sort(graph) -> tuple[np.ndarray, np.ndarray]:
     # adjacent page pair belonging to the same vertex (alternating parity).
     page_owner = np.repeat(np.searchsorted(verts, verts), pages_per[verts])
     max_pages = int(pages_per.max()) if pages_per.size else 0
-    page_rank = np.arange(total_pages, dtype=np.int64) - np.repeat(
-        page_starts, pages_per[verts]
-    )
+    page_rank = np.arange(total_pages, dtype=np.int64) - np.repeat(page_starts, pages_per[verts])
     for pass_idx in range(max(max_pages, 1)):
         mat[:total_pages].sort(axis=1)
         counters.add("faim_sort_elements", total_pages * cap)

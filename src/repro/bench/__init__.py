@@ -7,23 +7,38 @@ Layout:
   vertex batches, incremental build schedules) and structure factories;
 - :mod:`repro.bench.harness` — timing/throughput utilities and result
   records;
-- :mod:`repro.bench.tables` — one function per paper table, returning rows
-  shaped like the paper's (`table2_edge_insertion()` etc.);
+- :mod:`repro.bench.tables` — one function per paper table, returning
+  structured :class:`~repro.bench.results.ArtifactResult` records
+  (`table2_edge_insertion()` etc.);
 - :mod:`repro.bench.figures` — the Figure 2/3 load-factor sweeps;
+- :mod:`repro.bench.results` — versioned machine-readable result records
+  (``BenchResult``/``SuiteResult``) with JSON round-tripping;
+- :mod:`repro.bench.compare` — tolerance-banded baseline comparison;
 - :mod:`repro.bench.runner` — ``python -m repro.bench.runner`` regenerates
-  every artifact and prints paper-style tables.
+  every artifact, prints paper-style tables, and drives ``--json`` /
+  ``--compare`` / ``--update-baselines``.
 
 The pytest-benchmark entry points live in ``benchmarks/`` at the repo root
-and call into this package.
+and call into this package; committed baselines live in
+``benchmarks/baselines/``.
 """
 
+from repro.bench.compare import ComparisonReport, Tolerance, compare_suites
 from repro.bench.harness import BenchRecord, format_table, time_call
+from repro.bench.results import ArtifactResult, BenchResult, SuiteResult
 from repro.bench.workloads import make_structure, random_edge_batch, random_vertex_batch
 
 __all__ = [
+    "ArtifactResult",
     "BenchRecord",
+    "BenchResult",
+    "ComparisonReport",
+    "SuiteResult",
+    "Tolerance",
+    "compare_suites",
     "format_table",
     "make_structure",
     "random_edge_batch",
     "random_vertex_batch",
+    "time_call",
 ]

@@ -27,16 +27,21 @@ from dataclasses import dataclass
 from repro.analytics.triangle_count import triangle_count_hash
 from repro.api import create as create_backend
 from repro.bench.harness import time_call
+from repro.bench.results import ArtifactBuilder, ArtifactResult
 from repro.datasets.rmat import rmat_graph
 
 __all__ = [
     "LoadFactorPoint",
     "figure2_sweep",
     "figure3_sweep",
+    "figure2_artifact",
+    "figure3_artifact",
     "points_as_rows",
     "LOAD_FACTORS",
     "EDGE_FACTORS",
+    "QUICK_EDGE_FACTORS",
     "TC_EDGE_FACTORS",
+    "QUICK_TC_EDGE_FACTORS",
 ]
 
 #: Sizing load factors realizing average chain lengths ≈ 0.3 .. 5.
@@ -45,8 +50,14 @@ LOAD_FACTORS = [0.3, 0.5, 0.7, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0]
 #: Scaled analogues of the paper's 15M..135M-edge series (avg deg 16..128).
 EDGE_FACTORS = [16, 32, 64, 96, 128]
 
+#: Quick-mode degree series: the sweep's two extremes.
+QUICK_EDGE_FACTORS = [16, 64]
+
 #: Smaller degree series for the (probe-heavy) Figure 3 sweep.
 TC_EDGE_FACTORS = [8, 24, 48]
+
+#: Quick-mode Figure 3 degree series.
+QUICK_TC_EDGE_FACTORS = [8, 24]
 
 
 @dataclass
@@ -63,16 +74,16 @@ class LoadFactorPoint:
     num_edges: int = 0
 
 
-def figure2_sweep(scale: int = 12, seed: int = 0) -> list[LoadFactorPoint]:
+def figure2_sweep(
+    scale: int = 12, seed: int = 0, edge_factors=None
+) -> list[LoadFactorPoint]:
     """Fig. 2a/2b/2c: build each (edge factor, load factor) pair and
     measure insertion rate, utilization, and memory."""
     points = []
-    for ef in EDGE_FACTORS:
+    for ef in edge_factors if edge_factors is not None else EDGE_FACTORS:
         coo = rmat_graph(scale, ef, seed=seed)
         for lf in LOAD_FACTORS:
-            g = create_backend(
-                "slabhash", coo.num_vertices, weighted=True, load_factor=lf
-            )
+            g = create_backend("slabhash", coo.num_vertices, weighted=True, load_factor=lf)
             rec, _ = time_call("build", g.bulk_build, coo, items=coo.num_edges)
             st = g.stats()
             points.append(
@@ -89,15 +100,15 @@ def figure2_sweep(scale: int = 12, seed: int = 0) -> list[LoadFactorPoint]:
     return points
 
 
-def figure3_sweep(scale: int = 11, seed: int = 0) -> list[LoadFactorPoint]:
+def figure3_sweep(
+    scale: int = 11, seed: int = 0, edge_factors=None
+) -> list[LoadFactorPoint]:
     """Fig. 3: static TC model time versus chain length on undirected RMAT."""
     points = []
-    for ef in TC_EDGE_FACTORS:
+    for ef in edge_factors if edge_factors is not None else TC_EDGE_FACTORS:
         coo = rmat_graph(scale, ef, seed=seed).symmetrized().deduplicated()
         for lf in LOAD_FACTORS:
-            g = create_backend(
-                "slabhash", coo.num_vertices, weighted=False, load_factor=lf
-            )
+            g = create_backend("slabhash", coo.num_vertices, weighted=False, load_factor=lf)
             rec_b, _ = time_call("build", g.bulk_build, coo, items=coo.num_edges)
             st = g.stats()
             rec_tc, _ = time_call("tc", triangle_count_hash, g)
@@ -114,6 +125,37 @@ def figure3_sweep(scale: int = 11, seed: int = 0) -> list[LoadFactorPoint]:
                 )
             )
     return points
+
+
+def figure2_artifact(scale=12, seed=0, quick=False) -> ArtifactResult:
+    """Figure 2 sweep as a structured artifact with per-point metrics."""
+    efs = QUICK_EDGE_FACTORS if quick else None
+    points = figure2_sweep(scale=10 if quick else scale, seed=seed, edge_factors=efs)
+    return _points_artifact("f2", "Figure 2 — load-factor sweep (RMAT)", points)
+
+
+def figure3_artifact(scale=12, seed=0, quick=False) -> ArtifactResult:
+    """Figure 3 sweep as a structured artifact with per-point metrics."""
+    efs = QUICK_TC_EDGE_FACTORS if quick else None
+    points = figure3_sweep(scale=10 if quick else scale, seed=seed, edge_factors=efs)
+    return _points_artifact("f3", "Figure 3 — TC time vs chain length (RMAT)", points, with_tc=True)
+
+
+def _points_artifact(
+    artifact: str, title: str, points: list[LoadFactorPoint], with_tc: bool = False
+) -> ArtifactResult:
+    headers, rows = points_as_rows(points, with_tc=with_tc)
+    out = ArtifactBuilder(artifact, title, headers)
+    for p, row in zip(points, rows):
+        out.add_row(row)
+        at = (f"ef={p.edge_factor}", f"lf={p.load_factor:g}")
+        out.metric(p.insertion_rate_medges, "MEdge/s", *at, "insert")
+        out.metric(p.mean_chain_length, "chain", *at, "chain")
+        out.metric(p.memory_utilization, "util", *at, "util")
+        out.metric(p.memory_mb, "MB", *at, "mem")
+        if with_tc:
+            out.metric((p.tc_seconds or 0.0) * 1e3, "ms", *at, "tc")
+    return out.build()
 
 
 def points_as_rows(points: list[LoadFactorPoint], with_tc: bool = False):

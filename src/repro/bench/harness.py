@@ -66,7 +66,9 @@ class BenchRecord:
         return self.seconds * 1e3
 
 
-def time_call(label: str, fn: Callable, *args, items: int = 0, **kwargs) -> tuple[BenchRecord, object]:
+def time_call(
+    label: str, fn: Callable, *args, items: int = 0, **kwargs
+) -> tuple[BenchRecord, object]:
     """Time one call; returns (record, fn's return value)."""
     before = get_counters().snapshot()
     t0 = perf_counter()

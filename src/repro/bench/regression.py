@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.api import create as _create_backend
 from repro.bench.harness import format_table
+from repro.bench.results import ArtifactBuilder, ArtifactResult
 
 __all__ = [
     "ScalingPoint",
@@ -40,6 +41,7 @@ __all__ = [
     "BATCH_SIZE",
     "measure_update_scaling",
     "throughput_ratio",
+    "scaling_artifact",
 ]
 
 #: Vertex capacities spanning the regimes of Table VI / Table IX.
@@ -164,6 +166,47 @@ def throughput_ratio(points: list[ScalingPoint]) -> float:
     return ordered[0].updates_per_sec / ordered[-1].updates_per_sec
 
 
+def scaling_artifact(backend: str = "slabhash", quick: bool = False) -> ArtifactResult:
+    """The O(batch) scaling guard as a structured artifact.
+
+    The per-capacity updates/sec metrics are *wall-clock* and therefore
+    host-dependent; only the dimensionless small/large throughput ratio is
+    meaningful across machines (the baseline comparison gives ``reg/*`` a
+    correspondingly loose band — see
+    :data:`repro.bench.compare.TOLERANCE_OVERRIDES`).
+    """
+    points = measure_update_scaling(
+        repeats=2 if quick else 3,
+        num_batches=8 if quick else 16,
+        backend=backend,
+    )
+    out = ArtifactBuilder(
+        "reg",
+        f"Update-throughput scaling for {backend!r} (fixed batch size, growing |V|)",
+        ["|V| capacity", "batch", "batches", "wall ms", "M updates/s"],
+    )
+    for p in points:
+        out.add_row(
+            [
+                f"{p.capacity:,}",
+                p.batch_size,
+                p.num_batches,
+                p.seconds * 1e3,
+                p.updates_per_sec / 1e6,
+            ]
+        )
+        out.metric(
+            p.updates_per_sec / 1e6,
+            "Mupd/s",
+            f"cap={p.capacity}",
+            backend,
+            backend=backend,
+            items=p.batch_size * p.num_batches,
+        )
+    out.metric(throughput_ratio(points), "ratio", "throughput_ratio", backend=backend)
+    return out.build()
+
+
 def main(argv=None) -> None:  # pragma: no cover - CLI convenience
     import argparse
 
@@ -174,20 +217,10 @@ def main(argv=None) -> None:  # pragma: no cover - CLI convenience
         help="registered backend name to measure (default: slabhash)",
     )
     args = parser.parse_args(argv)
-    points = measure_update_scaling(backend=args.backend)
-    rows = [
-        [f"{p.capacity:,}", p.batch_size, p.num_batches, p.seconds * 1e3, p.updates_per_sec / 1e6]
-        for p in points
-    ]
-    print(
-        format_table(
-            f"Update-throughput scaling for {args.backend!r} "
-            "(fixed batch size, growing |V|)",
-            ["|V| capacity", "batch", "batches", "wall ms", "M updates/s"],
-            rows,
-        )
-    )
-    print(f"small/large throughput ratio: {throughput_ratio(points):.3f} (target ≤ 2)")
+    art = scaling_artifact(backend=args.backend)
+    print(format_table(art.title, art.headers, art.rows))
+    ratio = art.results[-1].value
+    print(f"small/large throughput ratio: {ratio:.3f} (target ≤ 2)")
 
 
 if __name__ == "__main__":  # pragma: no cover

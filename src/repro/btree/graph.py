@@ -158,9 +158,7 @@ class BTreeGraph(GraphBackend):
     def bulk_build(self, coo: COO) -> int:
         if self.num_edges():
             raise ValidationError("bulk_build requires an empty graph")
-        return self.insert_edges(
-            coo.src, coo.dst, coo.weights if self.weighted else None
-        )
+        return self.insert_edges(coo.src, coo.dst, coo.weights if self.weighted else None)
 
     def export_coo(self) -> COO:
         srcs, dsts, ws = [], [], []

@@ -38,9 +38,7 @@ def bulk_build(graph, coo: COO) -> int:
     degrees = work.out_degrees()
     sources = np.flatnonzero(degrees > 0)
     graph._dict.ensure_tables(sources, degrees[sources], graph.load_factor)
-    return graph.insert_edges(
-        work.src, work.dst, work.weights if graph.weighted else None
-    )
+    return graph.insert_edges(work.src, work.dst, work.weights if graph.weighted else None)
 
 
 def incremental_build(graph, coo: COO, batch_size: int, on_batch=None) -> int:
@@ -56,9 +54,7 @@ def incremental_build(graph, coo: COO, batch_size: int, on_batch=None) -> int:
         graph._dict.ensure_capacity(coo.num_vertices)
     total = 0
     for i, batch in enumerate(coo.batches(batch_size)):
-        added = graph.insert_edges(
-            batch.src, batch.dst, batch.weights if graph.weighted else None
-        )
+        added = graph.insert_edges(batch.src, batch.dst, batch.weights if graph.weighted else None)
         total += added
         if on_batch is not None:
             on_batch(i, batch.num_edges, added)

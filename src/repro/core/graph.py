@@ -162,9 +162,7 @@ class DynamicGraph(GraphBackend):
         first insertion).
         """
         if self._recycler is None:
-            raise ValidationError(
-                "construct the graph with reuse_vertex_ids=True to recycle ids"
-            )
+            raise ValidationError("construct the graph with reuse_vertex_ids=True to recycle ids")
         ids = self._recycler.allocate_ids(self, n)
         self._dict.activate(ids)
         return ids

@@ -95,7 +95,5 @@ class VertexIdRecycler:
         if still_missing > 0:
             start = graph.vertex_capacity
             graph._dict.ensure_capacity(start + still_missing)
-            fresh = np.concatenate(
-                [fresh, np.arange(start, start + still_missing, dtype=np.int64)]
-            )
+            fresh = np.concatenate([fresh, np.arange(start, start + still_missing, dtype=np.int64)])
         return np.concatenate([recycled, fresh])

@@ -60,12 +60,8 @@ def rehash_vertices(graph, vertex_ids, load_factor: float | None = None) -> None
     degrees = np.bincount(owners, minlength=vertex_ids.size) if owners.size else np.zeros(
         vertex_ids.size, dtype=np.int64
     )
-    buckets = SlabArena.buckets_for(
-        np.maximum(degrees, 1), lf, vd.arena.pool.lane_capacity
-    )
+    buckets = SlabArena.buckets_for(np.maximum(degrees, 1), lf, vd.arena.pool.lane_capacity)
     vd.arena.create_tables(vertex_ids, buckets)
     if dst.size:
-        vd.arena.insert(
-            vertex_ids[owners], dst, w if graph.weighted else None
-        )
+        vd.arena.insert(vertex_ids[owners], dst, w if graph.weighted else None)
     # Counts are unchanged: the live set was preserved exactly.

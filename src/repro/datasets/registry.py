@@ -66,37 +66,97 @@ DATASETS: dict[str, DatasetSpec] = {
         "luxembourg_osm", "road", lambda s=0: road_graph(4_000, seed=s), 114_000, 239_000, 2.1, 6
     ),
     "germany_osm": _spec(
-        "germany_osm", "road", lambda s=0: road_graph(20_000, seed=s), 11_500_000, 24_700_000, 2.1, 13
+        "germany_osm",
+        "road",
+        lambda s=0: road_graph(20_000, seed=s),
+        11_500_000,
+        24_700_000,
+        2.1,
+        13,
     ),
     "road_usa": _spec(
         "road_usa", "road", lambda s=0: road_graph(28_000, seed=s), 23_900_000, 57_710_000, 2.4, 9
     ),
     "delaunay_n23": _spec(
-        "delaunay_n23", "delaunay", lambda s=0: delaunay_graph(14_000, seed=s), 8_400_000, 50_300_000, 6.0, 28
+        "delaunay_n23",
+        "delaunay",
+        lambda s=0: delaunay_graph(14_000, seed=s),
+        8_400_000,
+        50_300_000,
+        6.0,
+        28,
     ),
     "delaunay_n20": _spec(
-        "delaunay_n20", "delaunay", lambda s=0: delaunay_graph(4_000, seed=s), 1_000_000, 6_300_000, 6.0, 23
+        "delaunay_n20",
+        "delaunay",
+        lambda s=0: delaunay_graph(4_000, seed=s),
+        1_000_000,
+        6_300_000,
+        6.0,
+        23,
     ),
     "rgg_n_2_20_s0": _spec(
-        "rgg_n_2_20_s0", "rgg", lambda s=0: rgg_graph(4_000, 13.1, seed=s), 1_000_000, 13_800_000, 13.1, 36
+        "rgg_n_2_20_s0",
+        "rgg",
+        lambda s=0: rgg_graph(4_000, 13.1, seed=s),
+        1_000_000,
+        13_800_000,
+        13.1,
+        36,
     ),
     "rgg_n_2_24_s0": _spec(
-        "rgg_n_2_24_s0", "rgg", lambda s=0: rgg_graph(12_000, 16.0, seed=s), 16_800_000, 265_100_000, 16.0, 40
+        "rgg_n_2_24_s0",
+        "rgg",
+        lambda s=0: rgg_graph(12_000, 16.0, seed=s),
+        16_800_000,
+        265_100_000,
+        16.0,
+        40,
     ),
     "coAuthorsDBLP": _spec(
-        "coAuthorsDBLP", "social", lambda s=0: powerlaw_graph(4_000, 6.4, 2.5, seed=s), 299_000, 1_900_000, 6.4, 336
+        "coAuthorsDBLP",
+        "social",
+        lambda s=0: powerlaw_graph(4_000, 6.4, 2.5, seed=s),
+        299_000,
+        1_900_000,
+        6.4,
+        336,
     ),
     "ldoor": _spec(
-        "ldoor", "mesh", lambda s=0: mesh_like_graph(4_000, 48.0, seed=s), 952_000, 45_500_000, 47.7, 76
+        "ldoor",
+        "mesh",
+        lambda s=0: mesh_like_graph(4_000, 48.0, seed=s),
+        952_000,
+        45_500_000,
+        47.7,
+        76,
     ),
     "soc-LiveJournal1": _spec(
-        "soc-LiveJournal1", "social", lambda s=0: powerlaw_graph(8_000, 17.2, 2.1, seed=s), 4_800_000, 85_700_000, 17.2, 20_000
+        "soc-LiveJournal1",
+        "social",
+        lambda s=0: powerlaw_graph(8_000, 17.2, 2.1, seed=s),
+        4_800_000,
+        85_700_000,
+        17.2,
+        20_000,
     ),
     "soc-orkut": _spec(
-        "soc-orkut", "social", lambda s=0: powerlaw_graph(4_000, 60.0, 2.1, seed=s), 3_000_000, 212_700_000, 70.9, 27_000
+        "soc-orkut",
+        "social",
+        lambda s=0: powerlaw_graph(4_000, 60.0, 2.1, seed=s),
+        3_000_000,
+        212_700_000,
+        70.9,
+        27_000,
     ),
     "hollywood-2009": _spec(
-        "hollywood-2009", "social", lambda s=0: powerlaw_graph(3_000, 80.0, 2.0, seed=s), 1_100_000, 112_800_000, 98.9, 11_000
+        "hollywood-2009",
+        "social",
+        lambda s=0: powerlaw_graph(3_000, 80.0, 2.0, seed=s),
+        1_100_000,
+        112_800_000,
+        98.9,
+        11_000,
     ),
 }
 
@@ -106,7 +166,5 @@ def load(name: str, seed: int = 0) -> COO:
     try:
         spec = DATASETS[name]
     except KeyError:
-        raise ValidationError(
-            f"unknown dataset {name!r}; choose from {sorted(DATASETS)}"
-        ) from None
+        raise ValidationError(f"unknown dataset {name!r}; choose from {sorted(DATASETS)}") from None
     return spec.generate(seed)

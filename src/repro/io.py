@@ -18,7 +18,6 @@ are 32-bit words, Section II-A footnote 1).
 
 from __future__ import annotations
 
-import io as _stdio
 from pathlib import Path
 
 import numpy as np
@@ -76,9 +75,7 @@ def read_matrix_market(path_or_file) -> COO:
 
         data = np.loadtxt(fh, ndmin=2) if nnz else np.empty((0, 2))
         if data.shape[0] != nnz:
-            raise ValidationError(
-                f"expected {nnz} entries, found {data.shape[0]}"
-            )
+            raise ValidationError(f"expected {nnz} entries, found {data.shape[0]}")
         src = data[:, 0].astype(np.int64) - 1
         dst = data[:, 1].astype(np.int64) - 1
         if field == "pattern":

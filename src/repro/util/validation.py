@@ -65,6 +65,4 @@ def check_in_range(arr: np.ndarray, lo: int, hi: int, name: str = "array") -> No
         return
     mn, mx = int(arr.min()), int(arr.max())
     if mn < lo or mx >= hi:
-        raise ValidationError(
-            f"{name} values must be in [{lo}, {hi}); observed range [{mn}, {mx}]"
-        )
+        raise ValidationError(f"{name} values must be in [{lo}, {hi}); observed range [{mn}, {mx}]")

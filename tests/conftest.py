@@ -34,7 +34,8 @@ class DictGraph:
     def insert(self, src, dst, weights=None):
         added = 0
         ws = weights if weights is not None else [0] * len(src)
-        for s, d, w in zip(np.asarray(src).tolist(), np.asarray(dst).tolist(), np.asarray(ws).tolist()):
+        srcs, dsts = np.asarray(src).tolist(), np.asarray(dst).tolist()
+        for s, d, w in zip(srcs, dsts, np.asarray(ws).tolist()):
             if s == d:
                 continue
             row = self.adj.setdefault(s, {})

@@ -1,7 +1,6 @@
 """Tests for the faimGraph-like baseline (pages, compaction, reuse queues)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.faimgraph import FaimGraph
 from repro.coo import COO

@@ -1,7 +1,6 @@
 """Tests for the GPMA and CSR baselines and the sorting cost models."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -47,9 +46,7 @@ class TestGPMA:
     def test_capacity_doubles_on_overflow(self):
         g = GPMAGraph(4096, segment_size=32)
         cap0 = g.capacity
-        g.insert_edges(
-            np.repeat(np.arange(200), 10), np.tile(np.arange(10) + 300, 200) % 4096
-        )
+        g.insert_edges(np.repeat(np.arange(200), 10), np.tile(np.arange(10) + 300, 200) % 4096)
         assert g.capacity > cap0
 
     def test_randomized_vs_model(self, rng, dict_graph):

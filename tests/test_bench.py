@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.bench.figures import LOAD_FACTORS, figure2_sweep, figure3_sweep
+from repro.bench.figures import figure2_sweep, figure3_sweep
 from repro.bench.harness import BenchRecord, format_table, mean, time_call
 from repro.bench.workloads import (
     STRUCTURES,

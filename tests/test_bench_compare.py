@@ -1,0 +1,153 @@
+"""Tolerance-band logic tests for repro.bench.compare."""
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_TOLERANCE,
+    MetricComparison,
+    Tolerance,
+    compare_suites,
+)
+from repro.bench.results import ArtifactBuilder, SuiteResult
+
+
+def suite(metrics: dict) -> SuiteResult:
+    """Build a suite from {tail key: (value, unit)} under artifact 'tX'."""
+    b = ArtifactBuilder("tX", "demo", ["k", "v"])
+    for tail, (value, unit) in metrics.items():
+        b.add_row([tail, value])
+        b.metric(value, unit, tail)
+    return SuiteResult(environment={"seed": 0, "quick": True}, artifacts=[b.build()])
+
+
+def one(report, key="tX/m"):
+    matches = [c for c in report.comparisons if c.metric == key]
+    assert len(matches) == 1
+    return matches[0]
+
+
+class TestBands:
+    def test_within_warn_band_passes(self):
+        r = compare_suites(suite({"m": (100.0, "MEdge/s")}), suite({"m": (95.0, "MEdge/s")}))
+        assert one(r).status == "pass" and r.ok
+
+    def test_throughput_drop_past_warn_warns(self):
+        r = compare_suites(suite({"m": (100.0, "MEdge/s")}), suite({"m": (85.0, "MEdge/s")}))
+        assert one(r).status == "warn"
+        assert r.ok  # warns do not gate
+
+    def test_throughput_drop_past_fail_fails(self):
+        r = compare_suites(suite({"m": (100.0, "MEdge/s")}), suite({"m": (70.0, "MEdge/s")}))
+        assert one(r).status == "fail" and not r.ok
+
+    def test_throughput_improvement_passes(self):
+        r = compare_suites(suite({"m": (100.0, "MEdge/s")}), suite({"m": (400.0, "MEdge/s")}))
+        assert one(r).status == "pass"
+
+    def test_time_increase_fails(self):
+        r = compare_suites(suite({"m": (10.0, "ms")}), suite({"m": (20.0, "ms")}))
+        assert one(r).status == "fail"
+        assert one(r).change == pytest.approx(1.0)
+
+    def test_time_decrease_passes(self):
+        r = compare_suites(suite({"m": (10.0, "ms")}), suite({"m": (1.0, "ms")}))
+        assert one(r).status == "pass"
+
+    def test_directionless_unit_fails_both_ways(self):
+        up = compare_suites(suite({"m": (1.0, "util")}), suite({"m": (2.0, "util")}))
+        down = compare_suites(suite({"m": (1.0, "util")}), suite({"m": (0.5, "util")}))
+        assert one(up).status == "fail"
+        assert one(down).status == "fail"
+
+    def test_zero_baseline_zero_current_passes(self):
+        r = compare_suites(suite({"m": (0.0, "ms")}), suite({"m": (0.0, "ms")}))
+        assert one(r).status == "pass"
+
+    def test_zero_baseline_nonzero_current_fails(self):
+        r = compare_suites(suite({"m": (0.0, "ms")}), suite({"m": (0.1, "ms")}))
+        assert one(r).status == "fail"
+
+
+class TestMissingAndNew:
+    def test_missing_metric_fails_by_default(self):
+        r = compare_suites(suite({"m": (1.0, "ms"), "n": (1.0, "ms")}), suite({"m": (1.0, "ms")}))
+        assert one(r, "tX/n").status == "missing"
+        assert not r.ok
+
+    def test_missing_metric_tolerated_when_disabled(self):
+        r = compare_suites(
+            suite({"m": (1.0, "ms"), "n": (1.0, "ms")}),
+            suite({"m": (1.0, "ms")}),
+            missing_fails=False,
+        )
+        assert one(r, "tX/n").status == "missing"
+        assert r.ok
+
+    def test_new_metric_is_informational(self):
+        r = compare_suites(suite({"m": (1.0, "ms")}), suite({"m": (1.0, "ms"), "n": (9.0, "ms")}))
+        assert one(r, "tX/n").status == "new"
+        assert r.ok
+
+
+class TestOverrides:
+    def test_per_metric_override_applies(self):
+        # Default fail band is 25%; a tight override catches a 6% slip.
+        r = compare_suites(
+            suite({"m": (100.0, "ms")}),
+            suite({"m": (106.0, "ms")}),
+            tolerances={"tX/*": Tolerance(warn=0.01, fail=0.05)},
+        )
+        assert one(r).status == "fail"
+
+    def test_longest_pattern_wins(self):
+        r = compare_suites(
+            suite({"m": (100.0, "ms")}),
+            suite({"m": (140.0, "ms")}),
+            tolerances={"tX/*": Tolerance(0.01, 0.05), "tX/m*": Tolerance(1.0, 2.0)},
+        )
+        assert one(r).status == "pass"
+
+    def test_triangle_counts_must_match_exactly(self):
+        # The shipped override pins */triangles to zero drift.
+        r = compare_suites(
+            suite({"d/triangles": (100.0, "count")}),
+            suite({"d/triangles": (101.0, "count")}),
+        )
+        assert one(r, "tX/d/triangles").status == "fail"
+
+    def test_tolerance_validates_ordering(self):
+        with pytest.raises(ValueError, match="exceed"):
+            Tolerance(warn=0.5, fail=0.1)
+        with pytest.raises(ValueError, match="non-negative"):
+            Tolerance(warn=-0.1, fail=0.1)
+
+    def test_default_tolerance_sane(self):
+        assert 0 < DEFAULT_TOLERANCE.warn < DEFAULT_TOLERANCE.fail < 1
+
+
+class TestReport:
+    def test_summary_counts(self):
+        r = compare_suites(
+            suite({"a": (100.0, "ms"), "b": (10.0, "ms")}),
+            suite({"a": (200.0, "ms"), "b": (10.0, "ms")}),
+        )
+        assert "REGRESSION" in r.summary()
+        assert "1 pass" in r.summary() and "1 fail" in r.summary()
+
+    def test_format_lists_offenders_worst_first(self):
+        r = compare_suites(
+            suite({"a": (100.0, "ms"), "b": (10.0, "ms")}),
+            suite({"a": (200.0, "ms"), "b": (11.2, "ms")}),
+        )
+        text = r.format()
+        assert text.index("FAIL") < text.index("WARN")
+        assert "tX/a" in text and "+100.0%" in text
+
+    def test_format_verbose_includes_passes(self):
+        r = compare_suites(suite({"a": (1.0, "ms")}), suite({"a": (1.0, "ms")}))
+        assert "tX/a" not in r.format()
+        assert "tX/a" in r.format(verbose=True)
+
+    def test_change_pct_rendering(self):
+        assert MetricComparison("m", "missing").change_pct == "—"
+        assert MetricComparison("m", "warn", change=-0.125).change_pct == "-12.5%"

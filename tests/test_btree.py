@@ -1,7 +1,6 @@
 """Tests for the B-tree adjacency backend (Section VII future work)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -160,9 +159,7 @@ class TestBTreeGraph:
         assert structure_state(g) == dict_graph.edges()
         qs, qd = rng.integers(0, n, 200), rng.integers(0, n, 200)
         got = g.edge_exists(qs, qd)
-        ref = np.array(
-            [s in dict_graph.adj and d in dict_graph.adj[s] for s, d in zip(qs, qd)]
-        )
+        ref = np.array([s in dict_graph.adj and d in dict_graph.adj[s] for s, d in zip(qs, qd)])
         assert np.array_equal(got, ref)
 
     def test_vertex_deletion(self, rng, dict_graph):

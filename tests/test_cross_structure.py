@@ -18,9 +18,7 @@ N = 40
 op_stream = st.lists(
     st.tuples(
         st.sampled_from(["insert", "delete"]),
-        st.lists(
-            st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)), max_size=60
-        ),
+        st.lists(st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)), max_size=60),
     ),
     max_size=8,
 )

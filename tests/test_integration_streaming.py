@@ -34,9 +34,7 @@ def test_streaming_scenario():
         ins_s = rng.integers(0, n, 250)
         ins_d = rng.integers(0, n, 250)
         g.insert_edges(ins_s, ins_d)
-        ref.add_edges_from(
-            (int(s), int(d)) for s, d in zip(ins_s, ins_d) if s != d
-        )
+        ref.add_edges_from((int(s), int(d)) for s, d in zip(ins_s, ins_d) if s != d)
         del_s = rng.integers(0, n, 100)
         del_d = rng.integers(0, n, 100)
         g.delete_edges(del_s, del_d)

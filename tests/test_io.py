@@ -127,8 +127,7 @@ class TestNpz:
         from repro import DynamicGraph
 
         g = DynamicGraph(40)
-        g.insert_edges(rng.integers(0, 40, 300), rng.integers(0, 40, 300),
-                       rng.integers(0, 9, 300))
+        g.insert_edges(rng.integers(0, 40, 300), rng.integers(0, 40, 300), rng.integers(0, 9, 300))
         path = tmp_path / "ckpt.npz"
         save_npz(path, g.export_coo())
         g2 = DynamicGraph(40)

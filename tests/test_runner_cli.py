@@ -1,0 +1,145 @@
+"""CLI behavior of ``python -m repro.bench.runner``.
+
+Heavy artifacts are replaced with a stub registered under a test-only id,
+so these tests exercise the runner's argument validation, JSON emission,
+baseline comparison exit codes, and baseline refresh without paying for a
+real sweep.  One test drives a real (tiny) artifact end to end.
+"""
+
+import json
+
+import pytest
+
+import repro.bench.runner as runner
+from repro.bench.results import ArtifactBuilder, SuiteResult, validate_suite
+
+
+def stub_artifact(scale=1.0):
+    """A fake table whose metric values scale with ``scale``."""
+
+    def build(seed=0, quick=False):
+        b = ArtifactBuilder("tstub", "Stub table", ["Dataset", "Ours"])
+        b.add_row(["demo", 10.0 * scale])
+        b.metric(10.0 * scale, "ms", "demo", "ours", dataset="demo", backend="ours")
+        b.metric(5.0 / scale, "MEdge/s", "demo", "rate", dataset="demo", backend="ours")
+        return b.build()
+
+    return build
+
+
+@pytest.fixture
+def stub(monkeypatch):
+    monkeypatch.setitem(runner._ARTIFACTS, "tstub", stub_artifact())
+
+
+class TestArgumentValidation:
+    def test_unknown_id_rejected_up_front(self, capsys):
+        # The valid id comes first: nothing may run before validation.
+        assert runner.main(["t8", "t99"]) == 2
+        captured = capsys.readouterr()
+        assert "t99" in captured.err
+        assert "valid:" in captured.err
+        assert captured.out == ""  # t8 never started
+
+    def test_all_unknown_ids_listed(self, capsys):
+        assert runner.main(["t99", "f9"]) == 2
+        err = capsys.readouterr().err
+        assert "'t99'" in err and "'f9'" in err
+
+    def test_known_ids_accepted(self, stub, capsys):
+        assert runner.main(["tstub"]) == 0
+        assert "Stub table" in capsys.readouterr().out
+
+
+class TestJsonEmission:
+    def test_json_output_is_schema_valid(self, stub, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        assert runner.main(["tstub", "--quick", "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        validate_suite(doc)
+        assert [a["artifact"] for a in doc["artifacts"]] == ["tstub"]
+        assert doc["environment"]["quick"] is True
+        assert "wrote 2 metrics" in capsys.readouterr().out
+
+    def test_update_baselines_writes_mode_path(self, stub, tmp_path, monkeypatch):
+        monkeypatch.setattr(runner, "BASELINE_DIR", tmp_path)
+        monkeypatch.setattr(runner, "DEFAULT_ARTIFACTS", ("tstub",))
+        assert runner.main(["tstub", "--quick", "--update-baselines"]) == 0
+        assert runner.main(["tstub", "--update-baselines"]) == 0
+        assert (tmp_path / "BENCH_baseline_quick.json").exists()
+        assert (tmp_path / "BENCH_baseline_full.json").exists()
+
+    def test_update_baselines_refuses_partial_run(self, stub, tmp_path, monkeypatch, capsys):
+        # A subset run must not truncate the committed baseline (that would
+        # silently turn off CI gating for every metric it drops).
+        monkeypatch.setattr(runner, "BASELINE_DIR", tmp_path)
+        assert runner.main(["t8", "--quick", "--update-baselines"]) == 2
+        captured = capsys.readouterr()
+        assert "refusing --update-baselines" in captured.err
+        assert captured.out == ""  # refused before any bench work
+        assert not (tmp_path / "BENCH_baseline_quick.json").exists()
+
+
+class TestCompareExitCodes:
+    def write_baseline(self, tmp_path, scale):
+        suite = runner.run_suite(["tstub"], quick=True, echo=lambda *_: None)
+        path = tmp_path / "baseline.json"
+        suite.save(path)
+        return path
+
+    def test_compare_passes_against_identical_baseline(self, stub, tmp_path, capsys):
+        path = self.write_baseline(tmp_path, 1.0)
+        assert runner.main(["tstub", "--quick", "--compare", str(path)]) == 0
+        assert "baseline comparison: OK" in capsys.readouterr().out
+
+    def test_compare_fails_on_2x_slowdown(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setitem(runner._ARTIFACTS, "tstub", stub_artifact())
+        path = self.write_baseline(tmp_path, 1.0)
+        # Injected slowdown: times double, throughput halves.
+        monkeypatch.setitem(runner._ARTIFACTS, "tstub", stub_artifact(scale=2.0))
+        assert runner.main(["tstub", "--quick", "--compare", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "tstub/demo/ours" in out
+
+    def test_compare_missing_baseline_is_usage_error(self, stub, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert runner.main(["tstub", "--compare", str(missing)]) == 2
+        captured = capsys.readouterr()
+        assert "cannot load baseline" in captured.err
+        assert captured.out == ""  # rejected before the suite ran
+
+    def test_compare_corrupt_baseline_is_usage_error(self, stub, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "other"}')
+        assert runner.main(["tstub", "--compare", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "cannot load baseline" in captured.err
+        assert captured.out == ""
+
+    def test_mode_mismatch_warns(self, stub, tmp_path, capsys):
+        path = self.write_baseline(tmp_path, 1.0)  # quick baseline
+        assert runner.main(["tstub", "--compare", str(path)]) == 0  # full run
+        assert "differ in --quick mode" in capsys.readouterr().err
+
+
+class TestRealArtifact:
+    def test_quick_t8_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "t8.json"
+        assert runner.main(["t8", "--quick", "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        validate_suite(doc)
+        suite = SuiteResult.from_dict(doc)
+        metrics = suite.metrics()
+        # Quick panel: 4 datasets x 2 structures.
+        assert len(metrics) == 8
+        assert all(m.unit == "ms" for m in metrics.values())
+        assert all(m.model_seconds > 0 for m in metrics.values())
+
+    def test_committed_quick_baseline_is_loadable(self):
+        path = runner.baseline_path(quick=True)
+        assert path.exists(), "committed quick baseline missing"
+        suite = SuiteResult.load(path)
+        expected = set(runner.DEFAULT_ARTIFACTS)
+        assert {a.artifact for a in suite.artifacts} == expected
+        assert suite.environment["quick"] is True

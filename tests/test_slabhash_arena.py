@@ -9,7 +9,6 @@ from repro.slabhash.constants import (
     EMPTY_KEY,
     NULL_SLAB,
     SLAB_KEY_CAPACITY,
-    SLAB_KV_CAPACITY,
     TOMBSTONE_KEY,
 )
 from repro.slabhash.stats import chain_lengths, compute_stats, live_counts
@@ -86,9 +85,7 @@ class TestKernels:
 
     def test_batch_dedup_last_wins(self):
         arena = make_arena(2)
-        added = arena.insert(
-            np.array([0, 0, 0]), np.array([5, 5, 5]), np.array([1, 2, 3])
-        )
+        added = arena.insert(np.array([0, 0, 0]), np.array([5, 5, 5]), np.array([1, 2, 3]))
         assert added.sum() == 1
         _, vals = arena.search(np.array([0]), np.array([5]))
         assert vals[0] == 3

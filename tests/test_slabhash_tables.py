@@ -1,7 +1,6 @@
 """Tests for the single-table SlabHashMap / SlabHashSet facades."""
 
 import numpy as np
-import pytest
 
 from repro.slabhash import SlabHashMap, SlabHashSet
 from repro.slabhash.constants import SLAB_KEY_CAPACITY, SLAB_KV_CAPACITY

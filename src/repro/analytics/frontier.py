@@ -65,10 +65,19 @@ def filter_frontier(candidates: np.ndarray, visited: np.ndarray) -> np.ndarray:
     """Deduplicate candidates and drop already-visited vertices.
 
     ``visited`` is a boolean mask indexed by vertex id; the returned
-    frontier is unique and unvisited (Gunrock's filter operator).
+    frontier is unique, sorted ascending, and unvisited (Gunrock's filter
+    operator).  Wide hops dedup by an O(n) scatter into a boolean mask
+    over the vertex space instead of an O(c log c) sort of the candidate
+    list; tiny frontiers on huge graphs (high-diameter road networks)
+    keep the sort, which is cheaper than touching n mask slots per hop.
     """
     candidates = as_int_array(candidates, "candidates")
     if candidates.size == 0:
         return candidates
-    fresh = candidates[~visited[candidates]]
-    return np.unique(fresh)
+    n = visited.shape[0]
+    if candidates.size * 16 < n:
+        return np.unique(candidates[~visited[candidates]])
+    fresh = np.zeros(n, dtype=bool)
+    fresh[candidates] = True
+    fresh &= ~visited
+    return np.flatnonzero(fresh)

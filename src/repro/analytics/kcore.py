@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api.snapshot import as_snapshot
+from repro.api.snapshot import as_snapshot, cached_snapshot
 from repro.util.errors import ValidationError
 
 __all__ = ["kcore", "core_numbers"]
@@ -48,10 +48,16 @@ def kcore(graph, k: int, max_rounds: int = 10_000) -> int:
             active = backend._dict.active
             weak = np.flatnonzero(active & (degrees > 0) & (degrees < k))
         else:
-            # Degrees only — bincount over the unordered export; building a
-            # sorted snapshot would pay an O(E log E) lexsort per round.
-            coo = backend.export_coo()
-            degrees = np.bincount(coo.src, minlength=int(backend.num_vertices))
+            # Degrees only.  A fresh cached snapshot serves them without
+            # touching the structure; otherwise bincount over the unordered
+            # export — building a sorted snapshot here would pay an
+            # O(E log E) lexsort per peeling round.
+            snap = cached_snapshot(backend)
+            if snap is not None:
+                degrees = snap.out_degrees()
+            else:
+                coo = backend.export_coo()
+                degrees = np.bincount(coo.src, minlength=int(backend.num_vertices))
             weak = np.flatnonzero((degrees > 0) & (degrees < k))
         if weak.size == 0:
             break

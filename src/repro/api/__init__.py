@@ -18,7 +18,12 @@ through one stable surface:
   exactly once, capability-gated dispatch, and the :meth:`Graph.snapshot`
   sorted-CSR view whole-graph analytics consume;
 - :class:`CSRSnapshot` / :func:`as_snapshot` (``repro.api.snapshot``) —
-  the immutable read view of a phase-concurrent structure.
+  the immutable read view of a phase-concurrent structure.  Snapshots are
+  cached keyed on each backend's ``mutation_version`` and maintained
+  incrementally by the facade's delta-merge (cold O(E log E) rebuilds are
+  paid only when the structure changed in ways a sorted merge cannot
+  express); :func:`cached_snapshot` peeks at a fresh cache without
+  building anything.
 
 Quickstart::
 
@@ -46,7 +51,7 @@ from repro.api.registry import (
     get_spec,
     register,
 )
-from repro.api.snapshot import CSRSnapshot, as_snapshot
+from repro.api.snapshot import CSRSnapshot, as_snapshot, cached_snapshot, merge_csr_delta
 
 __all__ = [
     "BackendSpec",
@@ -57,9 +62,11 @@ __all__ = [
     "GraphBackend",
     "as_snapshot",
     "backend_names",
+    "cached_snapshot",
     "capabilities",
     "create",
     "degree_array",
     "get_spec",
+    "merge_csr_delta",
     "register",
 ]

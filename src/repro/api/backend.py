@@ -11,7 +11,13 @@ analytics, bench harness, examples) backend-agnostic:
   ``adjacencies``, ``delete_vertices`` (raises unless the capability is
   declared), ``memory_bytes``, ``snapshot``;
 - a class-level :class:`~repro.api.capabilities.Capabilities` declaration,
-  narrowed per instance by :meth:`instance_capabilities`.
+  narrowed per instance by :meth:`instance_capabilities`;
+- **snapshot versioning**: every mutating operation calls
+  :meth:`_bump_version` so :attr:`mutation_version` increases monotonically.
+  The default :meth:`snapshot` keys its cached :class:`CSRSnapshot` on that
+  version — a snapshot of an unchanged structure is O(1) and performs zero
+  slab reads and zero sorts.  The :class:`repro.api.Graph` facade layers an
+  incremental delta-merge on top (see ``repro.api.facade``).
 
 Backends keep their own boundary validation so they remain safe to drive
 directly; the :class:`repro.api.Graph` facade performs the same
@@ -149,6 +155,33 @@ class GraphBackend(abc.ABC):
     #: Whether this *instance* stores per-edge weights.
     weighted: bool = False
 
+    #: Monotone mutation counter (class default 0; bumps write the instance).
+    _mutation_version: int = 0
+
+    #: Last materialized snapshot as ``(version, CSRSnapshot)``; kept across
+    #: bumps because the facade's delta-merge uses it as the merge base.
+    _snapshot_cache: tuple[int, CSRSnapshot] | None = None
+
+    # -- snapshot versioning ---------------------------------------------------
+
+    @property
+    def mutation_version(self) -> int:
+        """Monotonically increasing counter of mutating operations.
+
+        Equal versions guarantee an unchanged live edge set; the snapshot
+        cache (and any external reader) keys on it.  Bumps are deliberately
+        conservative: any mutating call that passes validation with a
+        non-empty batch bumps even when it changes nothing (weight
+        replacement makes "nothing changed" expensive to prove), so a
+        stale version never masquerades as fresh; only empty batches and
+        rejected arguments leave the version untouched.
+        """
+        return self._mutation_version
+
+    def _bump_version(self) -> None:
+        """Advance :attr:`mutation_version`; called by every mutating op."""
+        self._mutation_version = self._mutation_version + 1
+
     # -- required batched surface ----------------------------------------------
 
     @abc.abstractmethod
@@ -241,8 +274,20 @@ class GraphBackend(abc.ABC):
         return int(getattr(self, "allocated_bytes", 0))
 
     def snapshot(self) -> CSRSnapshot:
-        """Sorted-CSR snapshot of the live edge set (what analytics read)."""
-        return CSRSnapshot.from_coo(self.export_coo())
+        """Sorted-CSR snapshot of the live edge set (what analytics read).
+
+        Cached keyed on :attr:`mutation_version`: repeated snapshots of an
+        unchanged structure return the same object without re-walking slabs
+        or re-sorting (the paper's phase-concurrent usage model — compute
+        phases between update phases should not pay the export twice).
+        """
+        version = self.mutation_version
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        snap = CSRSnapshot.from_coo(self.export_coo())
+        self._snapshot_cache = (version, snap)
+        return snap
 
     # -- capability helpers ------------------------------------------------------------
 

@@ -14,6 +14,12 @@ Backends register lazily (a loader returning the class), so importing
 modules import ``repro.api.backend`` for the ABC while the registry only
 touches them on first :func:`create`.
 
+Every registered backend inherits the :class:`~repro.api.backend.GraphBackend`
+snapshot contract: mutating operations bump ``mutation_version`` and
+``snapshot()`` re-serves its cached sorted-CSR view while the version is
+unchanged, so registry consumers get phase-concurrent snapshot caching for
+free (see the README's "Snapshots and phase-concurrency" section).
+
 Weight defaulting is made explicit and uniform here: :func:`create` always
 passes ``weighted`` (default **False** — the set variant), unlike the
 legacy constructors whose defaults disagreed (``DynamicGraph``/``BTreeGraph``

@@ -7,6 +7,15 @@ poke backend internals — they take one :class:`CSRSnapshot` produced by
 :meth:`repro.api.Graph.snapshot` (or any backend's ``snapshot()``) and
 iterate over flat arrays, exactly how a Gunrock app consumes the structure
 between update phases.
+
+Snapshots are versioned and cached: :meth:`repro.api.GraphBackend.snapshot`
+keys the last built snapshot on the backend's ``mutation_version`` (an
+unchanged graph re-serves the same object for free), and the
+:class:`repro.api.Graph` facade maintains the cache *incrementally* by
+merging a sorted O(batch) delta into the cached CSR
+(:func:`merge_csr_delta`) instead of re-sorting the whole edge set — the
+Table VIII re-sort cost the paper prices, paid only on genuine cold
+rebuilds.
 """
 
 from __future__ import annotations
@@ -16,8 +25,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.coo import COO
+from repro.gpusim.counters import get_counters
+from repro.util.errors import ValidationError
 
-__all__ = ["CSRSnapshot", "as_snapshot"]
+__all__ = ["CSRSnapshot", "as_snapshot", "cached_snapshot", "merge_csr_delta"]
+
+_MASK32 = np.int64(0xFFFFFFFF)
 
 
 @dataclass(frozen=True)
@@ -36,6 +49,12 @@ class CSRSnapshot:
 
     @classmethod
     def from_coo(cls, coo: COO) -> "CSRSnapshot":
+        # The cold-build lexsort is the whole-edge-set sort whose absence
+        # the cached/incremental paths are measured against; charge it so
+        # the device model prices cold vs. cached snapshots honestly.
+        counters = get_counters()
+        counters.kernel_launches += 1
+        counters.sorted_elements += coo.num_edges
         row_ptr, col_idx, w = coo.to_csr()
         return cls(
             row_ptr=row_ptr,
@@ -99,3 +118,90 @@ def as_snapshot(graph) -> CSRSnapshot:
     if callable(snap):
         return snap()
     return CSRSnapshot.from_coo(graph.export_coo())
+
+
+def cached_snapshot(graph) -> CSRSnapshot | None:
+    """The graph's cached snapshot iff it is still fresh, else None.
+
+    Never builds anything: analytics that merely *prefer* flat arrays (the
+    k-core degree pass, hash triangle counting) use this to skip the slab
+    walk when some earlier phase already snapshotted the unchanged graph,
+    without forcing a sort on graphs that were never snapshotted.
+    """
+    backend = getattr(graph, "backend", graph)  # unwrap a Graph facade
+    cache = getattr(backend, "_snapshot_cache", None)
+    version = getattr(backend, "mutation_version", None)
+    if cache is not None and version is not None and cache[0] == version:
+        return cache[1]
+    return None
+
+
+def merge_csr_delta(
+    base: CSRSnapshot,
+    upsert_comp: np.ndarray,
+    upsert_weights: np.ndarray | None,
+    delete_comp: np.ndarray,
+) -> CSRSnapshot:
+    """Merge a net edge delta into a sorted CSR snapshot.
+
+    ``upsert_comp`` / ``delete_comp`` are disjoint, sorted, unique
+    composite keys ``(src << 32) | dst``; an upsert replaces the weight of
+    an existing edge or inserts a new one, a delete removes the edge if
+    present.  Cost is **O(E + B log E)** stream work — no whole-edge-set
+    sort — and the result is bit-identical to a cold
+    :meth:`CSRSnapshot.from_coo` rebuild of the same live set (both orders
+    are the unique-key composite order).
+
+    Charges the device model for the merge stream (``bytes_copied``) so
+    benches price the incremental path against the cold rebuild's
+    ``sorted_elements``.
+    """
+    counters = get_counters()
+    counters.kernel_launches += 1
+    old_deg = np.diff(base.row_ptr)
+    old_src = np.repeat(np.arange(base.num_vertices, dtype=np.int64), old_deg)
+    old_comp = (old_src << np.int64(32)) | base.col_idx
+    if old_comp.size > 1 and not bool(np.all(old_comp[1:] > old_comp[:-1])):
+        # searchsorted pairs each touched key with one position, so a
+        # duplicated base key would silently survive a delete/upsert;
+        # fail loudly instead (backends export unique live sets — a
+        # duplicate means a broken export_coo).
+        raise ValidationError("merge base contains duplicate (src, dst) keys")
+    # Drop every touched key from the old stream: deletes disappear,
+    # upserted keys re-enter from the delta with their new weight.
+    touched = np.concatenate([upsert_comp, delete_comp])
+    keep = np.ones(old_comp.shape[0], dtype=bool)
+    if touched.size and old_comp.size:
+        loc = np.searchsorted(old_comp, touched)
+        safe = np.minimum(loc, old_comp.shape[0] - 1)
+        hit = (loc < old_comp.shape[0]) & (old_comp[safe] == touched)
+        keep[loc[hit]] = False
+    kept_comp = old_comp[keep]
+    total = kept_comp.shape[0] + upsert_comp.shape[0]
+    new_comp = np.empty(total, dtype=np.int64)
+    ins_at = np.searchsorted(kept_comp, upsert_comp) + np.arange(
+        upsert_comp.shape[0], dtype=np.int64
+    )
+    ins_mask = np.zeros(total, dtype=bool)
+    ins_mask[ins_at] = True
+    new_comp[ins_at] = upsert_comp
+    new_comp[~ins_mask] = kept_comp
+    weights = None
+    if base.weights is not None:
+        weights = np.empty(total, dtype=np.int64)
+        weights[ins_at] = (
+            upsert_weights
+            if upsert_weights is not None
+            else np.zeros(upsert_comp.shape[0], dtype=np.int64)
+        )
+        weights[~ins_mask] = base.weights[keep]
+    width = 16 if base.weights is not None else 8
+    counters.bytes_copied += (int(old_comp.shape[0]) + total) * width
+    counts = np.bincount(new_comp >> np.int64(32), minlength=base.num_vertices)
+    row_ptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return CSRSnapshot(
+        row_ptr=row_ptr,
+        col_idx=(new_comp & _MASK32).astype(np.int64),
+        weights=weights,
+        num_vertices=base.num_vertices,
+    )

@@ -172,6 +172,7 @@ class FaimGraph(GraphBackend):
         """Initialize from a COO snapshot (deduplicated setup path)."""
         if int(self.degree.sum()) != 0:
             raise ValidationError("bulk_build requires an empty graph")
+        self._bump_version()
         work = coo.without_self_loops().deduplicated()
         order = np.lexsort((work.dst, work.src))
         s, d = work.src[order], work.dst[order]
@@ -214,6 +215,7 @@ class FaimGraph(GraphBackend):
             return 0
         check_in_range(src, 0, self.num_vertices, "src")
         check_in_range(dst, 0, self.num_vertices, "dst")
+        self._bump_version()
         counters = get_counters()
         counters.kernel_launches += 1
 
@@ -313,6 +315,7 @@ class FaimGraph(GraphBackend):
         if src.size == 0:
             return 0
         check_in_range(src, 0, self.num_vertices, "src")
+        self._bump_version()
         counters = get_counters()
         counters.kernel_launches += 1
 
@@ -377,6 +380,7 @@ class FaimGraph(GraphBackend):
         if vertex_ids.size == 0:
             return 0
         check_in_range(vertex_ids, 0, self.num_vertices, "vertex_ids")
+        self._bump_version()
         counters = get_counters()
         counters.atomics += int(vertex_ids.size)  # vertex-queue pushes
 

@@ -146,6 +146,7 @@ class GPMAGraph(GraphBackend):
     def bulk_build(self, coo: COO) -> int:
         if self._count:
             raise ValidationError("bulk_build requires an empty graph")
+        self._bump_version()
         work = coo.without_self_loops().deduplicated()
         keys = np.unique(self._composite(work.src, work.dst))
         get_counters().sorted_elements += int(keys.size)
@@ -180,6 +181,7 @@ class GPMAGraph(GraphBackend):
             return 0
         check_in_range(src, 0, self.num_vertices, "src")
         check_in_range(dst, 0, self.num_vertices, "dst")
+        self._bump_version()
         counters = get_counters()
 
         keep = src != dst
@@ -268,6 +270,7 @@ class GPMAGraph(GraphBackend):
         if src.size == 0:
             return 0
         check_in_range(src, 0, self.num_vertices, "src")
+        self._bump_version()
         comp = np.unique(self._composite(src, dst))
 
         mask = self._data != _EMPTY

@@ -148,6 +148,7 @@ class HornetGraph(GraphBackend):
         """
         if int(self.degree.sum()) != 0:
             raise ValidationError("bulk_build requires an empty graph")
+        self._bump_version()
         counters = get_counters()
         counters.kernel_launches += 1
         counters.add("host_syncs", 1)
@@ -202,6 +203,7 @@ class HornetGraph(GraphBackend):
             return 0
         check_in_range(src, 0, self.num_vertices, "src")
         check_in_range(dst, 0, self.num_vertices, "dst")
+        self._bump_version()
         counters = get_counters()
         counters.kernel_launches += 1
         counters.add("host_syncs", 1)
@@ -292,6 +294,7 @@ class HornetGraph(GraphBackend):
         if src.size == 0:
             return 0
         check_in_range(src, 0, self.num_vertices, "src")
+        self._bump_version()
         counters = get_counters()
         counters.kernel_launches += 1
         counters.add("host_syncs", 1)

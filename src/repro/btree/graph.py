@@ -80,6 +80,7 @@ class BTreeGraph(GraphBackend):
         w = weights[last] if weights is not None else np.zeros(src.size, dtype=np.int64)
         # Group by source so each tree's root is resolved once per run.
         order = np.argsort(src, kind="stable")
+        self._bump_version()
         added = 0
         for i in order.tolist():
             added += self._arena.insert_one(int(src[i]), int(dst[i]), int(w[i]))
@@ -92,6 +93,7 @@ class BTreeGraph(GraphBackend):
             return 0
         get_counters().kernel_launches += 1
         comp = np.unique((src << np.int64(32)) | dst)
+        self._bump_version()
         removed = 0
         for c in comp.tolist():
             removed += self._arena.delete_one(int(c >> 32), int(c & 0xFFFFFFFF))
@@ -104,6 +106,7 @@ class BTreeGraph(GraphBackend):
         if vertex_ids.size == 0:
             return 0
         check_in_range(vertex_ids, 0, self.num_vertices, "vertex_ids")
+        self._bump_version()
         removed = 0
         doomed = set(vertex_ids.tolist())
         for v in vertex_ids.tolist():

@@ -111,12 +111,22 @@ class COO:
         )
 
     def batches(self, batch_size: int):
-        """Yield consecutive COO slices of at most ``batch_size`` edges."""
+        """Yield consecutive COO slices of at most ``batch_size`` edges.
+
+        Each yielded COO holds slice *views* of the parent arrays — no
+        index array is materialized and no per-batch fancy-index copy is
+        paid, so streaming a large COO is allocation-free per batch.
+        """
         if batch_size <= 0:
             raise ValidationError("batch_size must be positive")
         for start in range(0, self.num_edges, batch_size):
-            idx = np.arange(start, min(start + batch_size, self.num_edges))
-            yield self._select_indices(idx)
+            stop = min(start + batch_size, self.num_edges)
+            yield COO(
+                self.src[start:stop],
+                self.dst[start:stop],
+                self.num_vertices,
+                None if self.weights is None else self.weights[start:stop],
+            )
 
     # -- conversions -----------------------------------------------------------
 
@@ -124,8 +134,18 @@ class COO:
         """Return ``(row_ptr, col_idx, weights)`` sorted by (src, dst).
 
         Duplicates are preserved; call :meth:`deduplicated` first when a
-        simple graph is required.
+        simple graph is required.  Raises :class:`ValidationError` if the
+        arrays were mutated to hold ids outside ``[0, num_vertices)`` —
+        ``np.bincount`` would otherwise silently grow the histogram and
+        mis-bin every row after a stray ``src``, and a stray ``dst`` would
+        plant an invalid column id for consumers to trip over.
         """
+        for label, arr in (("src", self.src), ("dst", self.dst)):
+            if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= self.num_vertices):
+                raise ValidationError(
+                    f"{label} contains ids outside [0, {self.num_vertices}); "
+                    "the arrays were mutated after construction"
+                )
         order = np.lexsort((self.dst, self.src))
         col = self.dst[order]
         w = self.weights_or_zeros()[order]

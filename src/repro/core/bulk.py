@@ -30,6 +30,7 @@ def bulk_build(graph, coo: COO) -> int:
     """
     if graph.num_edges() != 0:
         raise ValidationError("bulk_build requires an empty graph")
+    graph._bump_version()
     if coo.num_vertices > graph.vertex_capacity:
         graph._dict.ensure_capacity(coo.num_vertices)
     work = coo.without_self_loops()
@@ -50,6 +51,7 @@ def incremental_build(graph, coo: COO, batch_size: int, on_batch=None) -> int:
     """
     if graph.num_edges() != 0:
         raise ValidationError("incremental_build requires an empty graph")
+    graph._bump_version()
     if coo.num_vertices > graph.vertex_capacity:
         graph._dict.ensure_capacity(coo.num_vertices)
     total = 0

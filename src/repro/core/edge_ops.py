@@ -65,6 +65,7 @@ def insert_edges(graph, src, dst, weights=None) -> int:
     src, dst, w = _prepare(graph, src, dst, weights)
     if src.size == 0:
         return 0
+    graph._bump_version()
 
     keep = src != dst  # no self-edges (Algorithm 1, line 3)
     src, dst = src[keep], dst[keep]
@@ -103,6 +104,7 @@ def delete_edges(graph, src, dst) -> int:
     src, dst, _ = _prepare(graph, src, dst, None)
     if src.size == 0:
         return 0
+    graph._bump_version()
     if not graph.directed:
         src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
     removed = graph._dict.arena.delete(src, dst)

@@ -163,6 +163,7 @@ class DynamicGraph(GraphBackend):
         """
         if self._recycler is None:
             raise ValidationError("construct the graph with reuse_vertex_ids=True to recycle ids")
+        self._bump_version()
         ids = self._recycler.allocate_ids(self, n)
         self._dict.activate(ids)
         return ids
@@ -219,6 +220,7 @@ class DynamicGraph(GraphBackend):
         if vertex_ids is None:
             vertex_ids = self.rehash_candidates()
         vertex_ids = np.atleast_1d(np.asarray(vertex_ids, dtype=np.int64))
+        self._bump_version()
         _rehash.rehash_vertices(self, vertex_ids, load_factor)
         return int(vertex_ids.size)
 
@@ -226,6 +228,7 @@ class DynamicGraph(GraphBackend):
         """Compact tombstoned lanes (optional cleanup, Section IV-C2)."""
         if vertex_ids is None:
             vertex_ids = np.flatnonzero(self._dict.arena.table_base != -1)
+        self._bump_version()
         self._dict.arena.flush_tombstones(vertex_ids)
 
     def stats(self) -> ArenaStats:
@@ -244,9 +247,11 @@ class DynamicGraph(GraphBackend):
             return False
         self._dict.ensure_tables(np.array([src], dtype=np.int64))
         self._dict.activate(np.array([src, dst], dtype=np.int64))
+        self._bump_version()
         return self._dict.arena.reference_insert_one(src, dst, weight)
 
     def reference_delete(self, src: int, dst: int) -> bool:
+        self._bump_version()
         return self._dict.arena.reference_delete_one(src, dst)
 
     def reference_increment_edge_count(self, src: int, amount: int) -> None:

@@ -44,6 +44,7 @@ def insert_vertices(graph, vertex_ids, expected_degree=None) -> None:
         return
     if vertex_ids.min() < 0:
         raise ValidationError("vertex_ids must be non-negative")
+    graph._bump_version()
     graph._dict.ensure_capacity(int(vertex_ids.max()) + 1)
     graph._dict.ensure_tables(vertex_ids, expected_degree, graph.load_factor)
     graph._dict.activate(vertex_ids)
@@ -66,6 +67,7 @@ def delete_vertices(graph, vertex_ids) -> tuple[int, np.ndarray]:
     if vertex_ids.size == 0:
         return 0, np.empty(0, dtype=np.int64)
     check_in_range(vertex_ids, 0, graph.vertex_capacity, "vertex_ids")
+    graph._bump_version()
     vertex_ids = np.unique(vertex_ids)
     vd = graph._dict
     counters = get_counters()

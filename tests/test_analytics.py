@@ -128,6 +128,14 @@ class TestTraversal:
         out = filter_frontier(dsts, visited)
         assert sorted(out.tolist()) == [1, 3]
 
+    def test_filter_frontier_dedups_sorted_without_sort(self):
+        visited = np.zeros(8, dtype=bool)
+        visited[5] = True
+        candidates = np.array([7, 3, 3, 5, 1, 7, 1], dtype=np.int64)
+        out = filter_frontier(candidates, visited)
+        assert out.tolist() == [1, 3, 7]  # unique, ascending, unvisited
+        assert filter_frontier(np.empty(0, dtype=np.int64), visited).size == 0
+
     def test_cc_matches_networkx(self, undirected_case):
         coo, G, g = undirected_case
         labels = connected_components(g)

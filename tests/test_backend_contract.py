@@ -22,7 +22,9 @@ from repro.analytics import (
     pagerank,
     triangle_count_csr,
 )
-from repro.api import Graph, GraphBackend, as_snapshot
+from repro.api import CSRSnapshot, Graph, GraphBackend, as_snapshot, cached_snapshot
+from repro.coo import COO
+from repro.gpusim.counters import counting
 from repro.util.errors import ValidationError
 
 ALL_BACKENDS = sorted(api.backend_names())
@@ -242,6 +244,187 @@ class TestFacade:
         if not caps.vertex_dynamic:
             with pytest.raises(ValidationError):
                 g.delete_vertices([0])
+
+
+def _cold_snapshot(backend) -> CSRSnapshot:
+    """Reference rebuild bypassing every cache layer."""
+    return CSRSnapshot.from_coo(backend.export_coo())
+
+
+def _assert_snapshots_identical(got: CSRSnapshot, want: CSRSnapshot, ctx):
+    assert got.num_vertices == want.num_vertices, ctx
+    assert np.array_equal(got.row_ptr, want.row_ptr), ctx
+    assert np.array_equal(got.col_idx, want.col_idx), ctx
+    if want.weights is None:
+        assert got.weights is None, ctx
+    else:
+        assert np.array_equal(got.weights, want.weights), ctx
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+class TestSnapshotCache:
+    """The versioned snapshot cache: invalidation, identity, delta-merge."""
+
+    def test_every_mutating_op_bumps_version(self, name):
+        caps = api.capabilities(name)
+        g = make(name)
+        versions = [g.mutation_version]
+
+        def bumped(label):
+            versions.append(g.mutation_version)
+            assert versions[-1] > versions[-2], (name, label)
+
+        g.insert_edges(SRC, DST)
+        bumped("insert_edges")
+        g.delete_edges([0], [1])
+        bumped("delete_edges")
+        if caps.vertex_dynamic:
+            g.delete_vertices([3])
+            bumped("delete_vertices")
+        if hasattr(g, "insert_vertices"):
+            g.insert_vertices([5])
+            bumped("insert_vertices")
+        if caps.rehash:
+            g.rehash([1])
+            bumped("rehash")
+        if caps.tombstone_flush:
+            g.flush_tombstones()
+            bumped("flush_tombstones")
+        g2 = make(name)
+        before = g2.mutation_version
+        g2.bulk_build(COO([0, 1], [1, 2], N))
+        assert g2.mutation_version > before, (name, "bulk_build")
+
+    def test_empty_batches_do_not_bump_version(self, name):
+        g = make(name)
+        g.insert_edges(SRC, DST)
+        version = g.mutation_version
+        empty = np.empty(0, dtype=np.int64)
+        g.insert_edges(empty, empty.copy())
+        g.delete_edges(empty, empty.copy())
+        assert g.mutation_version == version, name
+
+    def test_queries_do_not_bump_version(self, name):
+        g = make(name)
+        g.insert_edges(SRC, DST)
+        version = g.mutation_version
+        g.edge_exists([0], [1])
+        g.edge_weights([0], [1])
+        g.neighbors(0)
+        g.adjacencies(np.array([0, 1]))
+        g.degree([0, 1])
+        g.num_edges()
+        g.memory_bytes()
+        g.export_coo()
+        g.sorted_adjacency()
+        g.snapshot()
+        assert g.mutation_version == version, name
+
+    def test_unchanged_graph_returns_cached_object_with_zero_work(self, name):
+        g = make(name)
+        g.insert_edges(SRC, DST)
+        with counting() as cold:
+            snap = g.snapshot()
+        assert cold["sorted_elements"] > 0, name  # the cold sort is priced
+        with counting() as hit:
+            again = g.snapshot()
+        assert again is snap, name
+        # The acceptance bar: a cache hit performs zero slab reads and
+        # zero sorts — in fact, zero counted device work of any kind.
+        assert hit["slab_reads"] == 0, name
+        assert hit["sorted_elements"] == 0, name
+        assert all(v == 0 for v in hit.values()), (name, hit)
+        assert cached_snapshot(g) is snap, name
+
+    def test_mutation_invalidates_cache(self, name):
+        g = make(name)
+        g.insert_edges(SRC, DST)
+        snap = g.snapshot()
+        g.insert_edges([5], [6])
+        assert cached_snapshot(g) is None, name
+        fresh = g.snapshot()
+        assert fresh is not snap, name
+        _assert_snapshots_identical(fresh, _cold_snapshot(g), name)
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_incremental_merge_is_bit_identical_to_cold(self, name, weighted):
+        if weighted and not api.capabilities(name).weighted:
+            pytest.skip("unweighted backend")
+        rng = np.random.default_rng(23)
+        g = Graph.create(name, num_vertices=N, weighted=weighted)
+        s = rng.integers(0, N, 300)
+        d = rng.integers(0, N, 300)
+        g.insert_edges(s, d, rng.integers(0, 99, 300) if weighted else None)
+        g.snapshot()  # prime the cache
+
+        # Inserts with duplicates (replace semantics), then deletes of a
+        # mix of present and absent edges.
+        s2 = rng.integers(0, N, 60)
+        d2 = rng.integers(0, N, 60)
+        g.insert_edges(s2, d2, rng.integers(100, 199, 60) if weighted else None)
+        g.delete_edges(np.concatenate([s[:25], [30]]), np.concatenate([d[:25], [31]]))
+        logged = g._delta_rows
+        assert logged > 0, name
+        with counting() as delta:
+            merged = g.snapshot()
+        # The merge sorts only the logged delta rows, never the edge set.
+        assert delta["sorted_elements"] == logged, (name, delta)
+        _assert_snapshots_identical(merged, _cold_snapshot(g.backend), name)
+        # And the merged snapshot is now the cache for everyone.
+        assert g.backend.snapshot() is merged, name
+
+    def test_repeated_merges_stay_identical(self, name):
+        rng = np.random.default_rng(5)
+        g = Graph.create(name, num_vertices=N)
+        g.insert_edges(rng.integers(0, N, 200), rng.integers(0, N, 200))
+        g.snapshot()
+        for round_ in range(4):
+            g.insert_edges(rng.integers(0, N, 30), rng.integers(0, N, 30))
+            g.delete_edges(rng.integers(0, N, 10), rng.integers(0, N, 10))
+            merged = g.snapshot()
+            _assert_snapshots_identical(merged, _cold_snapshot(g.backend), (name, round_))
+
+    def test_structural_ops_fall_back_to_cold_rebuild(self, name):
+        caps = api.capabilities(name)
+        g = Graph.create(name, num_vertices=N)
+        g.insert_edges([0, 1, 1, 2], [1, 0, 2, 1])
+        g.snapshot()
+        if caps.vertex_dynamic:
+            g.delete_vertices([1])
+        elif caps.rehash:
+            g.rehash()
+        else:
+            pytest.skip("no structural op beyond bulk_build for this backend")
+        _assert_snapshots_identical(g.snapshot(), _cold_snapshot(g.backend), name)
+
+    def test_out_of_band_backend_mutation_detected(self, name):
+        g = Graph.create(name, num_vertices=N)
+        g.insert_edges(SRC, DST)
+        g.snapshot()
+        g.insert_edges([7], [8])  # logged
+        g.backend.insert_edges([9], [10])  # bypasses the facade log
+        snap = g.snapshot()  # must not merge a stale log
+        _assert_snapshots_identical(snap, _cold_snapshot(g.backend), name)
+        assert g.edge_exists([9], [10])[0], name
+
+    def test_delta_overflow_falls_back(self, name):
+        g = Graph.create(name, num_vertices=N, snapshot_delta_limit=4)
+        g.insert_edges(SRC, DST)
+        g.snapshot()
+        g.insert_edges([1, 2, 3, 4, 5], [2, 3, 4, 5, 6])  # 5 rows > limit 4
+        _assert_snapshots_identical(g.snapshot(), _cold_snapshot(g.backend), name)
+
+    def test_facade_weighted_merge_replaces_weights(self, name):
+        if not api.capabilities(name).weighted:
+            pytest.skip("unweighted backend")
+        g = Graph.create(name, num_vertices=N, weighted=True)
+        g.insert_edges([0, 1], [1, 2], weights=[10, 20])
+        g.snapshot()
+        g.insert_edges([0], [1], weights=[99])  # replace via merge
+        snap = g.snapshot()
+        lo, hi = int(snap.row_ptr[0]), int(snap.row_ptr[1])
+        row = dict(zip(snap.col_idx[lo:hi].tolist(), snap.weights[lo:hi].tolist()))
+        assert row[1] == 99, name
 
 
 class TestAnalyticsAcrossBackends:

@@ -69,6 +69,13 @@ class TestTransforms:
         with pytest.raises(ValidationError):
             list(COO([0], [1]).batches(0))
 
+    def test_batches_are_views_not_copies(self):
+        coo = COO(np.arange(10), np.roll(np.arange(10), 1), weights=np.arange(10))
+        for i, chunk in enumerate(coo.batches(4)):
+            assert np.shares_memory(chunk.src, coo.src), i
+            assert np.shares_memory(chunk.dst, coo.dst), i
+            assert np.shares_memory(chunk.weights, coo.weights), i
+
 
 class TestConversions:
     def test_to_csr_sorted(self):
@@ -77,6 +84,19 @@ class TestConversions:
         assert row_ptr.tolist() == [0, 2, 3, 4, 4, 4, 4]
         assert col[:2].tolist() == [3, 5]  # row 0 sorted
         assert w[:2].tolist() == [7, 8]
+
+    def test_to_csr_rejects_mutated_out_of_range_src(self):
+        coo = COO([0, 1], [1, 0], num_vertices=2)
+        coo.src = np.array([0, 5], dtype=np.int64)  # mutate behind the back
+        with pytest.raises(ValidationError):
+            coo.to_csr()
+        coo.src = np.array([0, -1], dtype=np.int64)
+        with pytest.raises(ValidationError):
+            coo.to_csr()
+        coo = COO([0, 1], [1, 0], num_vertices=2)
+        coo.dst = np.array([1, 99], dtype=np.int64)
+        with pytest.raises(ValidationError):
+            coo.to_csr()
 
     def test_out_degrees(self):
         coo = COO([0, 0, 2], [1, 2, 0], num_vertices=4)

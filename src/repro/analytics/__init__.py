@@ -27,7 +27,7 @@ from repro.analytics.connected_components import connected_components
 from repro.analytics.frontier import advance, filter_frontier, vertex_space
 from repro.analytics.kcore import core_numbers, kcore
 from repro.analytics.ktruss import ktruss
-from repro.analytics.pagerank import pagerank
+from repro.analytics.pagerank import pagerank, power_iteration
 from repro.analytics.sssp import sssp
 from repro.analytics.triangle_count import (
     dynamic_triangle_count,
@@ -46,6 +46,7 @@ __all__ = [
     "kcore",
     "ktruss",
     "pagerank",
+    "power_iteration",
     "sssp",
     "triangle_count_csr",
     "triangle_count_hash",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.util.errors import ValidationError
-from repro.util.validation import as_int_array
+from repro.util.validation import as_int_array, check_in_range
 
 __all__ = ["advance", "filter_frontier", "vertex_space", "adjacencies_of"]
 
@@ -70,11 +70,17 @@ def filter_frontier(candidates: np.ndarray, visited: np.ndarray) -> np.ndarray:
     over the vertex space instead of an O(c log c) sort of the candidate
     list; tiny frontiers on huge graphs (high-diameter road networks)
     keep the sort, which is cheaper than touching n mask slots per hop.
+
+    Candidates outside ``[0, len(visited))`` raise
+    :class:`ValidationError`: a negative id would otherwise wrap around
+    the ``visited`` mask (id ``-1`` reads slot ``n-1``) and silently drop
+    or emit wrong frontier vertices.
     """
     candidates = as_int_array(candidates, "candidates")
     if candidates.size == 0:
         return candidates
     n = visited.shape[0]
+    check_in_range(candidates, 0, n, "candidates")
     if candidates.size * 16 < n:
         return np.unique(candidates[~visited[candidates]])
     fresh = np.zeros(n, dtype=bool)

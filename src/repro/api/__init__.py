@@ -42,7 +42,7 @@ Quickstart::
 
 from repro.api.backend import DegreeView, GraphBackend, degree_array
 from repro.api.capabilities import Capabilities
-from repro.api.facade import Graph
+from repro.api.facade import MAX_PACKABLE_VERTICES, Graph
 from repro.api.registry import (
     BackendSpec,
     backend_names,
@@ -60,6 +60,7 @@ __all__ = [
     "DegreeView",
     "Graph",
     "GraphBackend",
+    "MAX_PACKABLE_VERTICES",
     "as_snapshot",
     "backend_names",
     "cached_snapshot",

@@ -34,6 +34,15 @@ the O(E log E) full rebuild.  Vertex deletion, bulk build, rehash,
 tombstone flush, out-of-band backend mutations, or delta overflow fall
 back to a cold rebuild automatically; merged snapshots are bit-identical
 to cold ones (pinned by the cross-backend contract tests).
+
+Delta subscribers: alongside the snapshot log, consumers can observe the
+same per-batch edge deltas live via :meth:`Graph.subscribe_deltas`.  A
+subscriber receives ``on_edge_batch(is_insert, src, dst, weights)`` after
+every applied (normalized) batch and ``on_structural(reason)`` for
+mutations not expressible as an edge delta (vertex deletion, bulk build,
+rehash, tombstone flush).  The incremental analytics in
+:mod:`repro.stream` maintain their state from these events instead of
+recomputing from scratch each compute phase.
 """
 
 from __future__ import annotations
@@ -52,7 +61,7 @@ from repro.util.errors import ValidationError
 from repro.util.groupby import last_occurrence_mask
 from repro.util.validation import as_int_array, check_equal_length, check_in_range
 
-__all__ = ["Graph", "DEFAULT_DELTA_LIMIT"]
+__all__ = ["Graph", "DEFAULT_DELTA_LIMIT", "MAX_PACKABLE_VERTICES"]
 
 _SELF_LOOP_POLICIES = ("drop", "error")
 
@@ -61,6 +70,22 @@ _SELF_LOOP_POLICIES = ("drop", "error")
 #: the merge stops beating the rebuild anyway; 2^16 keeps the log's memory
 #: bounded regardless of graph size.
 DEFAULT_DELTA_LIMIT = 1 << 16
+
+#: Largest vertex-id space the ``(src << 32) | dst`` composite-key packing
+#: (batch dedup, snapshot delta-merge) can represent: ids must fit in 31
+#: bits because ``src << 32`` overflows signed int64 at ``src >= 2**31``,
+#: and ``dst`` would collide into the src bits at ``2**32`` regardless.
+MAX_PACKABLE_VERTICES = 1 << 31
+
+
+def _check_packable(num_vertices: int) -> None:
+    if num_vertices > MAX_PACKABLE_VERTICES:
+        raise ValidationError(
+            f"vertex space of {num_vertices} exceeds the facade's "
+            "(src << 32) | dst composite-key packing (batch dedup, snapshot "
+            f"delta-merge), which supports up to {MAX_PACKABLE_VERTICES} — "
+            "larger id spaces would silently collide or overflow int64"
+        )
 
 
 class Graph:
@@ -91,6 +116,7 @@ class Graph:
             raise ValidationError(
                 f"self_loops must be one of {_SELF_LOOP_POLICIES}, got {self_loops!r}"
             )
+        _check_packable(int(getattr(backend, "num_vertices", 0)))
         self.backend = backend
         self.self_loops = self_loops
         self.dedup_batches = bool(dedup_batches)
@@ -98,6 +124,7 @@ class Graph:
         if snapshot_delta_limit < 0:
             raise ValidationError("snapshot_delta_limit must be non-negative")
         self.snapshot_delta_limit = int(snapshot_delta_limit)
+        self._delta_subscribers: list = []
         self._reset_delta(getattr(backend, "mutation_version", 0))
 
     @classmethod
@@ -197,6 +224,7 @@ class Graph:
         before = getattr(self.backend, "mutation_version", None)
         added = int(self.backend.insert_edges(src, dst, weights))
         self._log_delta(True, src, dst, weights, before)
+        self._notify_edges(True, src, dst, weights, before)
         return added
 
     def delete_edges(self, src, dst) -> int:
@@ -207,6 +235,7 @@ class Graph:
         before = getattr(self.backend, "mutation_version", None)
         removed = int(self.backend.delete_edges(src, dst))
         self._log_delta(False, src, dst, None, before)
+        self._notify_edges(False, src, dst, None, before)
         return removed
 
     def delete_vertices(self, vertex_ids) -> int:
@@ -223,6 +252,7 @@ class Graph:
         check_in_range(vids, 0, self.num_vertices, "vertex_ids")
         removed = int(self.backend.delete_vertices(vids))
         self._invalidate_delta()
+        self._notify_structural("delete_vertices")
         return removed
 
     def bulk_build(self, coo: COO) -> int:
@@ -232,10 +262,14 @@ class Graph:
         — a snapshot restore, unlike :meth:`insert_edges`, which rejects
         explicit weights on unweighted instances.
         """
+        # Backends grow their vertex space to fit the COO, so the
+        # construction-time packing guard must be re-checked here.
+        _check_packable(int(coo.num_vertices))
         if coo.weights is not None and not self.weighted:
             coo = COO(coo.src, coo.dst, coo.num_vertices, weights=None)
         built = int(self.backend.bulk_build(coo))
         self._invalidate_delta()
+        self._notify_structural("bulk_build")
         return built
 
     # -- queries --------------------------------------------------------------------
@@ -331,12 +365,14 @@ class Graph:
         self._require("rehash")
         rebuilt = int(self.backend.rehash(vertex_ids, load_factor))
         self._invalidate_delta()
+        self._notify_structural("rehash")
         return rebuilt
 
     def flush_tombstones(self, vertex_ids=None) -> None:
         self._require("tombstone_flush")
         self.backend.flush_tombstones(vertex_ids)
         self._invalidate_delta()
+        self._notify_structural("flush_tombstones")
 
     # -- snapshot delta log ------------------------------------------------------------
 
@@ -430,6 +466,41 @@ class Graph:
             w[is_ins] if weighted else None,
             comp[~is_ins],
         )
+
+    # -- delta subscribers -------------------------------------------------------------
+
+    def subscribe_deltas(self, subscriber) -> None:
+        """Register a live observer of this facade's applied deltas.
+
+        ``subscriber`` must implement ``on_edge_batch(is_insert, src, dst,
+        weights, before_version)`` — called after every applied edge
+        batch with the *normalized* arrays (self-loops dropped, dedup
+        applied, weights defaulted; valid only for the duration of the
+        call — copy to keep) — and ``on_structural(reason)`` for
+        mutations that cannot be expressed as an edge delta
+        (``"delete_vertices"``, ``"bulk_build"``, ``"rehash"``,
+        ``"flush_tombstones"``).  ``before_version`` is the backend's
+        ``mutation_version`` observed immediately before dispatch;
+        mutations applied to the backend behind the facade's back are
+        *not* observed, so subscribers that need exactness must compare
+        it against the version they last folded in (see
+        :mod:`repro.stream.incremental`).
+        """
+        if subscriber not in self._delta_subscribers:
+            self._delta_subscribers.append(subscriber)
+
+    def unsubscribe_deltas(self, subscriber) -> None:
+        """Remove a subscriber registered via :meth:`subscribe_deltas`."""
+        if subscriber in self._delta_subscribers:
+            self._delta_subscribers.remove(subscriber)
+
+    def _notify_edges(self, is_insert: bool, src, dst, weights, before_version) -> None:
+        for sub in list(self._delta_subscribers):
+            sub.on_edge_batch(is_insert, src, dst, weights, before_version)
+
+    def _notify_structural(self, reason: str) -> None:
+        for sub in list(self._delta_subscribers):
+            sub.on_structural(reason)
 
     # -- plumbing ----------------------------------------------------------------------
 

@@ -1,0 +1,142 @@
+"""Streaming scenario artifact (``t11``): incremental vs. full recompute.
+
+The paper's workload is phase-concurrent streams — update batches
+interleaved with query and compute phases.  This artifact runs seeded
+:mod:`repro.stream` scenarios twice per backend and prices each compute
+phase under the two strategies:
+
+- **full** — the recompute-from-scratch baseline a Hornet-/faimGraph-
+  style pipeline pays between update phases: cold edge-set export, the
+  O(E log E) snapshot sort, connected components and PageRank from a
+  uniform start;
+- **incr** — the facade's O(batch) delta-merged snapshot plus the
+  delta-aware analytics (:class:`IncrementalConnectedComponents`
+  union-find updates, :class:`IncrementalPageRank` warm-start sweeps).
+
+Reported times are modeled device milliseconds per compute phase
+(deterministic, baseline-gated); ``speedup`` is full/incr, which the
+quick CI gate keeps ≥ 3x for the insert-heavy scenario at |E| = 2^18.
+``incr upd`` is the incremental mode's subscriber overhead summed over
+the scenario's *mutation* phases — the price of staying warm, reported so
+the speedup column cannot hide it.  PageRank runs at the monitoring-grade
+``STREAM_TOL`` (the two modes' sweep counts are reported side by side).
+The B-tree backend joins on the small mixed scenario only: its per-edge
+Python build dominates wall-clock at streaming sizes while its
+facade-side delta paths are the identical protocol defaults.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchRecord
+from repro.bench.results import ArtifactBuilder, ArtifactResult
+from repro.stream import insert_heavy_scenario, mixed_scenario, run_scenario
+
+__all__ = ["stream_artifact", "STREAM_TOL"]
+
+#: PageRank tolerance for streaming compute phases (monitoring-grade:
+#: per-vertex ranks stable to 1e-5 between phases).
+STREAM_TOL = 1e-5
+
+#: Vectorized backends priced on the large insert-heavy scenarios.
+STREAM_BACKENDS = ("slabhash", "hornet", "faimgraph", "gpma")
+
+#: Quick-mode subset for the 2^18 gate scenario.
+QUICK_STREAM_BACKENDS = ("slabhash", "hornet")
+
+#: All registered structures join the small mixed scenario.
+MIXED_BACKENDS = ("slabhash", "btree", "hornet", "faimgraph", "gpma")
+
+_MUTATION_KINDS = ("insert", "delete", "vertex_churn")
+
+
+def _phase_records(result, kinds) -> list:
+    """Phase results of the given kinds as BenchRecords (for metrics)."""
+    return [
+        BenchRecord(p.kind, p.wall_seconds, items=p.applied, counters=p.counters)
+        for p in result.phases
+        if p.kind in kinds
+    ]
+
+
+def stream_artifact(seed: int = 0, quick: bool = False) -> ArtifactResult:
+    """Price streaming compute phases: incremental vs. full recompute."""
+    out = ArtifactBuilder(
+        "t11",
+        "Table XI — streaming compute phases: incremental vs full recompute (ms/phase)",
+        [
+            "Scenario",
+            "Backend",
+            "Full",
+            "Incr",
+            "Incr upd",
+            "Speedup",
+            "Cold swp",
+            "Warm swp",
+        ],
+    )
+    if quick:
+        panel = [
+            (mixed_scenario(1 << 9, seed=seed), MIXED_BACKENDS),
+            (insert_heavy_scenario(1 << 18, seed=seed), QUICK_STREAM_BACKENDS),
+        ]
+    else:
+        panel = [
+            (mixed_scenario(1 << 12, seed=seed), MIXED_BACKENDS),
+            (insert_heavy_scenario(1 << 16, seed=seed), STREAM_BACKENDS),
+            (insert_heavy_scenario(1 << 18, seed=seed), STREAM_BACKENDS),
+        ]
+    for scenario, backends in panel:
+        for name in backends:
+            full = run_scenario(scenario, name, mode="full", tol=STREAM_TOL)
+            incr = run_scenario(scenario, name, mode="incremental", tol=STREAM_TOL)
+            full_ms = full.mean_compute_model_seconds() * 1e3
+            incr_ms = incr.mean_compute_model_seconds() * 1e3
+            # Subscriber overhead: extra modeled time the incremental mode
+            # spends inside the scenario's mutation phases to stay warm.
+            upd_ms = (
+                sum(incr.model_seconds(k) - full.model_seconds(k) for k in _MUTATION_KINDS) * 1e3
+            )
+            speedup = full_ms / incr_ms if incr_ms > 0 else 0.0
+            sweeps_cold = sum(p.detail.get("pr_sweeps", 0) for p in full.compute_phases())
+            sweeps_warm = sum(p.detail.get("pr_sweeps", 0) for p in incr.compute_phases())
+            out.add_row(
+                [
+                    scenario.name,
+                    name,
+                    full_ms,
+                    incr_ms,
+                    upd_ms,
+                    speedup,
+                    sweeps_cold,
+                    sweeps_warm,
+                ]
+            )
+            key = (scenario.name, name)
+            out.metric(
+                full_ms,
+                "ms",
+                *key,
+                "full",
+                backend=name,
+                records=_phase_records(full, ("compute",)),
+            )
+            out.metric(
+                incr_ms,
+                "ms",
+                *key,
+                "incr",
+                backend=name,
+                records=_phase_records(incr, ("compute",)),
+            )
+            out.metric(
+                upd_ms,
+                "ms",
+                *key,
+                "incr_update",
+                backend=name,
+                records=_phase_records(incr, _MUTATION_KINDS),
+            )
+            out.metric(speedup, "x", *key, "speedup", backend=name)
+            out.metric(sweeps_cold, "sweeps", *key, "pr_sweeps_cold", backend=name)
+            out.metric(sweeps_warm, "sweeps", *key, "pr_sweeps_warm", backend=name)
+    return out.build()

@@ -1,0 +1,58 @@
+"""Streaming scenario engine + delta-aware incremental analytics.
+
+The paper's workload is phase-concurrent streams: batches of edge
+insertions and deletions interleaved with query and compute phases.  This
+package makes that workload a first-class object:
+
+- :mod:`repro.stream.scenario` — seeded :class:`Scenario` specs (mixed
+  phase schedules over the Table I dataset generators) runnable against
+  any registered backend through the :class:`repro.api.Graph` facade,
+  with per-phase wall/model/counter records;
+- :mod:`repro.stream.incremental` — analytics that subscribe to the
+  facade's per-batch edge deltas and update in O(batch) instead of
+  recomputing from scratch: :class:`IncrementalConnectedComponents`
+  (union-find, cold re-label on deletions/vertex ops) and
+  :class:`IncrementalPageRank` (warm-start power iteration).
+
+The ``t11`` bench artifact (:mod:`repro.bench.stream_bench`) prices the
+incremental compute phases against the full-recompute baseline the other
+structures model.
+"""
+
+from repro.stream.incremental import (
+    IncrementalAnalytic,
+    IncrementalConnectedComponents,
+    IncrementalPageRank,
+)
+from repro.stream.scenario import (
+    FAMILIES,
+    PHASE_KINDS,
+    Phase,
+    PhaseResult,
+    Scenario,
+    ScenarioResult,
+    build_dataset,
+    churn_scenario,
+    insert_heavy_scenario,
+    mixed_scenario,
+    quick_scenarios,
+    run_scenario,
+)
+
+__all__ = [
+    "FAMILIES",
+    "PHASE_KINDS",
+    "IncrementalAnalytic",
+    "IncrementalConnectedComponents",
+    "IncrementalPageRank",
+    "Phase",
+    "PhaseResult",
+    "Scenario",
+    "ScenarioResult",
+    "build_dataset",
+    "churn_scenario",
+    "insert_heavy_scenario",
+    "mixed_scenario",
+    "quick_scenarios",
+    "run_scenario",
+]

@@ -1,0 +1,414 @@
+"""Seeded streaming scenarios: mixed phase schedules over any backend.
+
+The paper's workload is *phase-concurrent*: batches of edge insertions and
+deletions interleaved with query and compute phases.  A
+:class:`Scenario` is a declarative, seeded spec of such a schedule —
+which Table I dataset family seeds the graph (rmat / powerlaw / road /
+rgg), and which phases run in which order — and :func:`run_scenario`
+executes it against any registered backend through the
+:class:`repro.api.Graph` facade, recording wall-clock, modeled device
+time, and kernel counters per phase.
+
+Compute phases run in one of two modes:
+
+- ``mode="full"`` — the full-recompute baseline (what a Hornet- or
+  faimGraph-style pipeline does between update phases): export the live
+  edge set, pay the cold O(E log E) snapshot sort, and run connected
+  components and PageRank from scratch;
+- ``mode="incremental"`` — the facade's delta-merged snapshot plus the
+  delta-aware analytics of :mod:`repro.stream.incremental`
+  (O(batch α) union-find updates, warm-started PageRank sweeps).
+
+Both modes are deterministic for a fixed scenario seed, so the ``t11``
+bench artifact can gate their modeled-cost ratio in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.analytics.connected_components import connected_components
+from repro.analytics.pagerank import power_iteration
+from repro.api.facade import Graph
+from repro.api.snapshot import CSRSnapshot
+from repro.coo import COO
+from repro.datasets import powerlaw_graph, rgg_graph, rmat_graph, road_graph
+from repro.gpusim.counters import get_counters
+from repro.gpusim.model import simulated_seconds
+from repro.stream.incremental import IncrementalConnectedComponents, IncrementalPageRank
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "PHASE_KINDS",
+    "FAMILIES",
+    "Phase",
+    "Scenario",
+    "PhaseResult",
+    "ScenarioResult",
+    "build_dataset",
+    "run_scenario",
+    "insert_heavy_scenario",
+    "mixed_scenario",
+    "churn_scenario",
+    "quick_scenarios",
+]
+
+#: Everything a phase can do to the graph.
+PHASE_KINDS = ("insert", "delete", "vertex_churn", "query", "compute")
+
+#: Dataset families a scenario can seed from (Table I generators).
+FAMILIES = ("rmat", "powerlaw", "road", "rgg")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One step of a scenario schedule.
+
+    ``kind`` selects the operation; ``size`` is the per-batch item count
+    (edges for insert/delete, vertices for churn, probes for query;
+    ignored for compute) and ``batches`` how many batches the phase
+    applies back to back.
+    """
+
+    kind: str
+    size: int = 0
+    batches: int = 1
+
+    def __post_init__(self):
+        if self.kind not in PHASE_KINDS:
+            raise ValidationError(f"phase kind must be one of {PHASE_KINDS}, got {self.kind!r}")
+        if self.size < 0:
+            raise ValidationError("phase size must be non-negative")
+        if self.batches < 1:
+            raise ValidationError("phase batches must be >= 1")
+        if self.kind != "compute" and self.size == 0:
+            raise ValidationError(f"{self.kind!r} phases need size > 0")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A seeded streaming workload: dataset seed + phase schedule.
+
+    ``avg_degree`` shapes the rmat/powerlaw/rgg seed graphs; the road
+    family's degree is intrinsic to its grid topology (~2.2), so the
+    field is informational there (see :func:`build_dataset`).
+    """
+
+    name: str
+    family: str
+    num_vertices: int
+    avg_degree: float
+    phases: tuple
+    seed: int = 0
+    weighted: bool = False
+
+    def __post_init__(self):
+        if self.family not in FAMILIES:
+            raise ValidationError(f"family must be one of {FAMILIES}, got {self.family!r}")
+        if self.num_vertices < 2:
+            raise ValidationError("scenarios need at least 2 vertices")
+        if self.avg_degree <= 0:
+            raise ValidationError("avg_degree must be positive")
+        if not self.phases:
+            raise ValidationError("scenarios need at least one phase")
+        object.__setattr__(self, "phases", tuple(self.phases))
+        for p in self.phases:
+            if not isinstance(p, Phase):
+                raise ValidationError(f"phases must be Phase instances, got {type(p).__name__}")
+
+
+def build_dataset(scenario: Scenario) -> COO:
+    """Generate the scenario's seed graph (weights attached if requested).
+
+    ``avg_degree`` parameterizes the rmat/powerlaw/rgg generators; road
+    networks have an intrinsic mean degree (~2.1-2.5, set by the grid
+    topology), so the field is informational for ``family="road"``.
+    """
+    n, deg, seed = scenario.num_vertices, scenario.avg_degree, scenario.seed
+    if scenario.family == "rmat":
+        scale = max(1, int(round(np.log2(n))))
+        coo = rmat_graph(scale, edge_factor=deg, seed=seed)
+    elif scenario.family == "powerlaw":
+        coo = powerlaw_graph(n, deg, seed=seed)
+    elif scenario.family == "road":
+        coo = road_graph(n, seed=seed)
+    else:
+        coo = rgg_graph(n, deg, seed=seed)
+    if scenario.weighted:
+        rng = np.random.default_rng(seed ^ 0x3E1647)
+        coo = COO(
+            coo.src,
+            coo.dst,
+            coo.num_vertices,
+            weights=rng.integers(1, 100, coo.num_edges, dtype=np.int64),
+        )
+    return coo
+
+
+@dataclass
+class PhaseResult:
+    """One executed phase: what it did and what it cost."""
+
+    index: int
+    kind: str
+    applied: int
+    skipped: bool
+    wall_seconds: float
+    model_seconds: float
+    counters: dict = field(default_factory=dict)
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioResult:
+    """A full scenario run against one backend in one compute mode."""
+
+    scenario: Scenario
+    backend: str
+    mode: str
+    phases: list
+
+    def model_seconds(self, kind: str | None = None) -> float:
+        """Total modeled device seconds, optionally for one phase kind."""
+        return sum(p.model_seconds for p in self.phases if kind is None or p.kind == kind)
+
+    def compute_phases(self) -> list:
+        return [p for p in self.phases if p.kind == "compute"]
+
+    def mean_compute_model_seconds(self) -> float:
+        phases = self.compute_phases()
+        if not phases:
+            return 0.0
+        return sum(p.model_seconds for p in phases) / len(phases)
+
+
+def run_scenario(
+    scenario: Scenario,
+    backend_name: str,
+    *,
+    mode: str = "incremental",
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iters: int = 100,
+    prime: bool = True,
+    validate: bool = False,
+) -> ScenarioResult:
+    """Execute a scenario against one backend; returns per-phase records.
+
+    ``prime`` runs one untimed compute before phase 0 so per-phase costs
+    measure the steady state (the incremental analytics' one-off cold
+    initialization is setup, not workload).  ``validate`` re-derives the
+    cold reference after *every* phase in incremental mode and asserts
+    the incremental answers are exact (CC) / within ``tol`` per vertex
+    (PageRank) — for tests, not benches (validation work is excluded
+    from the phase's timing and counters).
+    """
+    if mode not in ("incremental", "full"):
+        raise ValidationError(f"mode must be 'incremental' or 'full', got {mode!r}")
+    if not (0.0 < damping < 1.0):
+        raise ValidationError("damping must be in (0, 1)")
+    if tol <= 0:
+        raise ValidationError("tol must be positive")
+    coo = build_dataset(scenario)
+    n = coo.num_vertices
+    g = Graph.create(backend_name, num_vertices=n, weighted=scenario.weighted)
+    g.bulk_build(coo)
+    caps = g.capabilities
+
+    inc_cc = inc_pr = None
+    if mode == "incremental":
+        inc_cc = IncrementalConnectedComponents(g)
+        inc_pr = IncrementalPageRank(g, damping=damping, tol=tol, max_iters=max_iters)
+        if prime:
+            inc_pr.compute()
+    rng = np.random.default_rng(scenario.seed + 0x51AB)
+
+    def compute_once() -> dict:
+        if mode == "incremental":
+            inc_cc.labels()
+            inc_pr.compute()
+            return {
+                "cc_mode": inc_cc.last_mode,
+                "pr_mode": inc_pr.last_mode,
+                "pr_sweeps": inc_pr.last_sweeps,
+            }
+        # Full-recompute baseline: cold export + cold sort + cold kernels.
+        snap = CSRSnapshot.from_coo(g.export_coo())
+        connected_components(snap)
+        uniform = np.full(n, 1.0 / n, dtype=np.float64)
+        _, sweeps = power_iteration(snap, uniform, damping=damping, tol=tol, max_iters=max_iters)
+        return {"cc_mode": "cold", "pr_mode": "cold", "pr_sweeps": sweeps}
+
+    results: list = []
+    for index, phase in enumerate(scenario.phases):
+        applied = 0
+        skipped = False
+        detail: dict = {}
+        before = get_counters().snapshot()
+        t0 = perf_counter()
+        if phase.kind == "insert":
+            for _ in range(phase.batches):
+                src = rng.integers(0, n, phase.size, dtype=np.int64)
+                dst = rng.integers(0, n, phase.size, dtype=np.int64)
+                w = (
+                    rng.integers(1, 100, phase.size, dtype=np.int64)
+                    if scenario.weighted
+                    else None
+                )
+                applied += g.insert_edges(src, dst, w)
+        elif phase.kind == "delete":
+            for _ in range(phase.batches):
+                # Sample from the seed edge list: mostly-live targets, the
+                # occasional already-deleted duplicate (allowed, a no-op).
+                pick = rng.integers(0, coo.num_edges, phase.size)
+                applied += g.delete_edges(coo.src[pick], coo.dst[pick])
+        elif phase.kind == "vertex_churn":
+            if not caps.vertex_dynamic:
+                skipped = True
+            else:
+                for _ in range(phase.batches):
+                    vids = rng.choice(n, size=min(phase.size, n), replace=False)
+                    applied += g.delete_vertices(vids.astype(np.int64))
+        elif phase.kind == "query":
+            for _ in range(phase.batches):
+                qs = rng.integers(0, n, phase.size, dtype=np.int64)
+                qd = rng.integers(0, n, phase.size, dtype=np.int64)
+                hits = int(g.edge_exists(qs, qd).sum())
+                g.degree(qs)
+                applied += phase.size
+                detail["hits"] = detail.get("hits", 0) + hits
+        else:  # compute
+            detail = compute_once()
+            applied = 1
+        wall = perf_counter() - t0
+        delta = get_counters().diff(before)
+        results.append(
+            PhaseResult(
+                index=index,
+                kind=phase.kind,
+                applied=applied,
+                skipped=skipped,
+                wall_seconds=wall,
+                model_seconds=simulated_seconds(delta),
+                counters={k: v for k, v in delta.items() if v},
+                detail=detail,
+            )
+        )
+        if validate and mode == "incremental":
+            _validate_exactness(g, inc_cc, inc_pr, damping, tol, max_iters, (scenario.name, index))
+    return ScenarioResult(scenario=scenario, backend=backend_name, mode=mode, phases=results)
+
+
+def _validate_exactness(g, inc_cc, inc_pr, damping, tol, max_iters, ctx) -> None:
+    """Assert the incremental answers equal cold recomputation right now."""
+    snap = CSRSnapshot.from_coo(g.backend.export_coo())
+    cold_labels = connected_components(snap)
+    got_labels = inc_cc.labels()
+    if not np.array_equal(got_labels, cold_labels):
+        raise AssertionError(f"incremental CC labels diverged from cold re-label at {ctx}")
+    uniform = np.full(snap.num_vertices, 1.0 / snap.num_vertices, dtype=np.float64)
+    cold_ranks, _ = power_iteration(snap, uniform, damping=damping, tol=tol, max_iters=max_iters)
+    got_ranks = inc_pr.compute()
+    if not np.allclose(got_ranks, cold_ranks, atol=tol, rtol=0.0):
+        worst = float(np.abs(got_ranks - cold_ranks).max())
+        raise AssertionError(
+            f"incremental PageRank diverged from cold recompute at {ctx}: max |Δ| = {worst:g}"
+        )
+
+
+# -- scenario catalog -----------------------------------------------------------------
+
+
+def insert_heavy_scenario(
+    num_edges: int = 1 << 18, *, batch: int = 1 << 9, rounds: int = 3, seed: int = 0
+) -> Scenario:
+    """Insert bursts interleaved with compute probes (rmat seed graph).
+
+    The paper's dominant streaming pattern — and the ``t11`` quick gate's
+    scenario at ``num_edges=2**18``: per round, two ``batch``-edge insert
+    bursts, a query probe, then a compute phase.
+    """
+    num_vertices = max(num_edges // 4, 64)
+    phases = []
+    for _ in range(rounds):
+        phases += [
+            Phase("insert", size=batch, batches=2),
+            Phase("query", size=max(batch // 2, 1)),
+            Phase("compute"),
+        ]
+    return Scenario(
+        name=f"insert-heavy-2^{int(np.log2(num_edges))}",
+        family="rmat",
+        num_vertices=num_vertices,
+        avg_degree=num_edges / num_vertices,
+        phases=tuple(phases),
+        seed=seed,
+    )
+
+
+def mixed_scenario(num_vertices: int = 1 << 12, *, batch: int = 256, seed: int = 0) -> Scenario:
+    """Inserts, deletions, and queries around compute phases (powerlaw)."""
+    phases = (
+        Phase("insert", size=batch, batches=2),
+        Phase("compute"),
+        Phase("query", size=batch),
+        Phase("delete", size=batch // 2),
+        Phase("compute"),
+        Phase("insert", size=batch),
+        Phase("compute"),
+    )
+    return Scenario(
+        name=f"mixed-2^{int(np.log2(num_vertices))}",
+        family="powerlaw",
+        num_vertices=num_vertices,
+        avg_degree=8.0,
+        phases=phases,
+        seed=seed,
+    )
+
+
+def churn_scenario(num_vertices: int = 1 << 11, *, batch: int = 128, seed: int = 0) -> Scenario:
+    """Vertex churn plus edge churn on a road network (worst case for the
+    incremental paths: every churn phase forces a cold re-label)."""
+    phases = (
+        Phase("insert", size=batch),
+        Phase("compute"),
+        Phase("vertex_churn", size=max(batch // 8, 1)),
+        Phase("compute"),
+        Phase("insert", size=batch),
+        Phase("delete", size=batch // 2),
+        Phase("compute"),
+    )
+    return Scenario(
+        name=f"churn-2^{int(np.log2(num_vertices))}",
+        family="road",
+        num_vertices=num_vertices,
+        avg_degree=2.2,
+        phases=phases,
+        seed=seed,
+    )
+
+
+def quick_scenarios(seed: int = 0) -> tuple:
+    """Small scenarios covering every family and phase kind (test-sized)."""
+    return (
+        insert_heavy_scenario(1 << 10, batch=64, rounds=2, seed=seed),
+        mixed_scenario(1 << 8, batch=48, seed=seed),
+        churn_scenario(1 << 8, batch=32, seed=seed),
+        Scenario(
+            name="rgg-delete-heavy",
+            family="rgg",
+            num_vertices=256,
+            avg_degree=6.0,
+            phases=(
+                Phase("delete", size=64, batches=2),
+                Phase("compute"),
+                Phase("insert", size=64),
+                Phase("compute"),
+            ),
+            seed=seed,
+        ),
+    )

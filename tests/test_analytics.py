@@ -136,6 +136,26 @@ class TestTraversal:
         assert out.tolist() == [1, 3, 7]  # unique, ascending, unvisited
         assert filter_frontier(np.empty(0, dtype=np.int64), visited).size == 0
 
+    def test_filter_frontier_rejects_negative_ids_mask_path(self):
+        """id -1 must not wrap to visited[n-1] and corrupt the frontier."""
+        visited = np.zeros(8, dtype=bool)
+        with pytest.raises(ValidationError, match="candidates"):
+            filter_frontier(np.array([-1, 2, 3], dtype=np.int64), visited)
+
+    def test_filter_frontier_rejects_negative_ids_sort_path(self):
+        # Few candidates on a large mask take the np.unique path.
+        visited = np.zeros(10_000, dtype=bool)
+        with pytest.raises(ValidationError, match="candidates"):
+            filter_frontier(np.array([-1, 2], dtype=np.int64), visited)
+
+    def test_filter_frontier_rejects_out_of_range_ids_both_paths(self):
+        small = np.zeros(4, dtype=bool)  # mask path
+        with pytest.raises(ValidationError, match="candidates"):
+            filter_frontier(np.array([0, 4], dtype=np.int64), small)
+        large = np.zeros(10_000, dtype=bool)  # sort path
+        with pytest.raises(ValidationError, match="candidates"):
+            filter_frontier(np.array([10_000], dtype=np.int64), large)
+
     def test_cc_matches_networkx(self, undirected_case):
         coo, G, g = undirected_case
         labels = connected_components(g)

@@ -426,6 +426,56 @@ class TestSnapshotCache:
         row = dict(zip(snap.col_idx[lo:hi].tolist(), snap.weights[lo:hi].tolist()))
         assert row[1] == 99, name
 
+    def test_delete_only_batch_merges_incrementally(self, name):
+        """A delete-only window must merge, not fall back to a rebuild."""
+        g = Graph.create(name, num_vertices=N)
+        g.insert_edges(SRC, DST)
+        g.snapshot()
+        g.delete_edges([0, 3, 7], [1, 4, 8])  # two present, one absent
+        logged = g._delta_rows
+        assert logged > 0, name
+        with counting() as delta:
+            merged = g.snapshot()
+        assert delta["sorted_elements"] == logged, (name, delta)
+        _assert_snapshots_identical(merged, _cold_snapshot(g.backend), name)
+        assert merged.num_edges == len(UNIQUE_EDGES) - 2, name
+
+    def test_dedup_batches_interplay_with_delta_log(self, name):
+        """dedup_batches pre-collapses the batch before it is logged."""
+        g = Graph.create(name, num_vertices=N, dedup_batches=True)
+        g.insert_edges([0, 1], [1, 2])
+        g.snapshot()
+        g.insert_edges([5, 5, 5, 6], [6, 7, 6, 7])  # collapses to 3 rows
+        mirror = 1 if g.directed else 2
+        assert g._delta_rows == 3 * mirror, name
+        _assert_snapshots_identical(g.snapshot(), _cold_snapshot(g.backend), name)
+
+    def test_delete_then_reinsert_same_key_in_one_window(self, name):
+        """Last op per key wins across the whole logged window."""
+        weighted = api.capabilities(name).weighted
+        g = Graph.create(name, num_vertices=N, weighted=weighted)
+        g.insert_edges([0, 1], [1, 2], weights=[10, 20] if weighted else None)
+        g.snapshot()
+        g.delete_edges([0], [1])
+        g.insert_edges([0], [1], weights=[77] if weighted else None)
+        snap = g.snapshot()
+        _assert_snapshots_identical(snap, _cold_snapshot(g.backend), name)
+        assert g.edge_exists([0], [1])[0], name
+        if weighted:
+            lo, hi = int(snap.row_ptr[0]), int(snap.row_ptr[1])
+            row = dict(zip(snap.col_idx[lo:hi].tolist(), snap.weights[lo:hi].tolist()))
+            assert row[1] == 77, name
+
+    def test_insert_then_delete_same_key_in_one_window(self, name):
+        g = Graph.create(name, num_vertices=N)
+        g.insert_edges(SRC, DST)
+        g.snapshot()
+        g.insert_edges([9], [10])
+        g.delete_edges([9], [10])
+        snap = g.snapshot()
+        _assert_snapshots_identical(snap, _cold_snapshot(g.backend), name)
+        assert not g.edge_exists([9], [10])[0], name
+
 
 class TestAnalyticsAcrossBackends:
     """The same analytics answers from every backend's snapshot."""

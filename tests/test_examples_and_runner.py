@@ -32,6 +32,13 @@ def test_checkpointing_example_runs(capsys):
     assert "range query" in out
 
 
+def test_streaming_incremental_example_runs(capsys):
+    run_example("streaming_incremental_analytics.py")
+    out = capsys.readouterr().out
+    assert "incremental analytics verified exact after every phase" in out
+    assert "speedup" in out
+
+
 @pytest.mark.slow
 def test_streaming_example_runs(capsys):
     run_example("streaming_social_network.py")

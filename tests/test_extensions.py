@@ -147,6 +147,35 @@ class TestSSSP:
         dist = sssp(g, 3)
         assert dist[3] == 0 and dist[0] == -1
 
+    @staticmethod
+    def negative_weight_graph(n, src, dst, w):
+        # The slab-hash value lanes are 32-bit (negative weights wrap);
+        # Hornet stores plain int64 weights, and sssp is backend-agnostic.
+        import repro.api as api
+
+        g = api.create("hornet", num_vertices=n, weighted=True)
+        g.insert_edges(np.array(src), np.array(dst), np.array(w))
+        return g
+
+    def test_negative_weights_without_cycle(self):
+        g = self.negative_weight_graph(4, [0, 1, 0], [1, 2, 2], [5, -3, 9])
+        assert sssp(g, 0).tolist() == [0, 5, 2, -1]
+
+    def test_negative_cycle_raises(self):
+        # 1 <-> 2 with net gain -4; reachable from 0.
+        g = self.negative_weight_graph(4, [0, 1, 2], [1, 2, 1], [1, -2, -2])
+        with pytest.raises(ValidationError, match="negative cycle"):
+            sssp(g, 0)
+
+    def test_negative_cycle_unreachable_is_fine(self):
+        g = self.negative_weight_graph(5, [0, 2, 3], [1, 3, 2], [7, -2, -2])
+        assert sssp(g, 0).tolist() == [0, 7, -1, -1, -1]
+
+    def test_max_rounds_truncation_does_not_raise(self):
+        g = self.negative_weight_graph(4, [0, 1, 2], [1, 2, 1], [1, -2, -2])
+        dist = sssp(g, 0, max_rounds=2)
+        assert dist[0] == 0  # truncated lower bounds, no cycle check
+
 
 class TestKCore:
     def build(self, seed=6):

@@ -51,6 +51,7 @@ from repro.api.registry import (
     get_spec,
     register,
 )
+from repro.api.sharding import Partitioner, ShardedGraph
 from repro.api.snapshot import CSRSnapshot, as_snapshot, cached_snapshot, merge_csr_delta
 
 __all__ = [
@@ -61,6 +62,8 @@ __all__ = [
     "Graph",
     "GraphBackend",
     "MAX_PACKABLE_VERTICES",
+    "Partitioner",
+    "ShardedGraph",
     "as_snapshot",
     "backend_names",
     "cached_snapshot",

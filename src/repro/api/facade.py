@@ -24,25 +24,34 @@ Policies (chosen at construction, applied to every batch):
 - weights handed to an unweighted instance raise :class:`ValidationError`
   — never silently dropped.
 
-Snapshot maintenance: the facade keeps a bounded *delta log* of the edge
-batches it has applied since the backend's cached snapshot.  When
-:meth:`Graph.snapshot` finds the cache stale but the log complete (every
-intervening mutation went through this facade and was an edge batch), it
-lexsorts only the O(batch) delta and merges it into the cached sorted CSR
-(:func:`repro.api.snapshot.merge_csr_delta`) — O(E + B log B) instead of
-the O(E log E) full rebuild.  Vertex deletion, bulk build, rehash,
-tombstone flush, out-of-band backend mutations, or delta overflow fall
-back to a cold rebuild automatically; merged snapshots are bit-identical
-to cold ones (pinned by the cross-backend contract tests).
+Event log: every mutation the facade applies is published to a
+first-class :class:`repro.eventlog.EventLog` at :attr:`Graph.events` —
+normalized edge batches as :class:`~repro.eventlog.EdgeBatch` events and
+vertex deletion / bulk build / rehash / tombstone flush as
+:class:`~repro.eventlog.StructuralEvent`s, each stamped with the
+backend's ``mutation_version`` before and after the dispatch.  Consumers
+(the snapshot delta-merge below, :mod:`repro.stream.incremental`'s
+analytics, the shard router) read it through cursors; a history whose
+version chain does not connect the consumer's last sync to the live
+version — an out-of-band backend mutation, or events trimmed past the
+log's bounded retention — is detected as a log gap and answered with a
+cold rebuild.
 
-Delta subscribers: alongside the snapshot log, consumers can observe the
-same per-batch edge deltas live via :meth:`Graph.subscribe_deltas`.  A
-subscriber receives ``on_edge_batch(is_insert, src, dst, weights)`` after
-every applied (normalized) batch and ``on_structural(reason)`` for
-mutations not expressible as an edge delta (vertex deletion, bulk build,
-rehash, tombstone flush).  The incremental analytics in
-:mod:`repro.stream` maintain their state from these events instead of
-recomputing from scratch each compute phase.
+Snapshot maintenance rides the same log: when :meth:`Graph.snapshot`
+finds the cached snapshot stale but the event window since it complete
+and purely edge-batched, it lexsorts only the O(batch) delta and merges
+it into the cached sorted CSR (:func:`repro.api.snapshot.merge_csr_delta`)
+— O(E + B log B) instead of the O(E log E) full rebuild.  Structural
+events, version-chain breaks, and retention gaps fall back to a cold
+rebuild automatically; merged snapshots are bit-identical to cold ones
+(pinned by the cross-backend contract tests).
+
+Delta subscribers: :meth:`Graph.subscribe_deltas` remains as the
+facade-flavored push interface — a subscriber receives
+``on_edge_batch(is_insert, src, dst, weights, before_version)`` after
+every applied batch and ``on_structural(reason)`` for structural events.
+It is a thin adapter over ``Graph.events.subscribe``; new consumers
+should subscribe to (or hold a cursor on) the event log directly.
 """
 
 from __future__ import annotations
@@ -54,21 +63,21 @@ import numpy as np
 from repro.api.backend import GraphBackend
 from repro.api.capabilities import Capabilities
 from repro.api.registry import create as _create_backend
-from repro.api.snapshot import CSRSnapshot, as_snapshot, merge_csr_delta
+from repro.api.snapshot import CSRSnapshot, as_snapshot, merge_event_window
 from repro.coo import COO
-from repro.gpusim.counters import get_counters
+from repro.eventlog import EdgeBatch, EventLog, StructuralEvent, version_chain_intact
 from repro.util.errors import ValidationError
 from repro.util.groupby import last_occurrence_mask
 from repro.util.validation import as_int_array, check_equal_length, check_in_range
 
-__all__ = ["Graph", "DEFAULT_DELTA_LIMIT", "MAX_PACKABLE_VERTICES"]
+__all__ = ["Graph", "DEFAULT_DELTA_LIMIT", "MAX_PACKABLE_VERTICES", "normalize_batch"]
 
 _SELF_LOOP_POLICIES = ("drop", "error")
 
-#: Default bound on logged delta rows before the facade stops logging and
-#: the next snapshot falls back to a cold rebuild.  Past ~|E| logged rows
-#: the merge stops beating the rebuild anyway; 2^16 keeps the log's memory
-#: bounded regardless of graph size.
+#: Default bound on retained event-log rows before old events are trimmed
+#: and lagging readers (the snapshot merge included) fall back to a cold
+#: rebuild.  Past ~|E| logged rows the merge stops beating the rebuild
+#: anyway; 2^16 keeps the log's memory bounded regardless of graph size.
 DEFAULT_DELTA_LIMIT = 1 << 16
 
 #: Largest vertex-id space the ``(src << 32) | dst`` composite-key packing
@@ -86,6 +95,73 @@ def _check_packable(num_vertices: int) -> None:
             f"delta-merge), which supports up to {MAX_PACKABLE_VERTICES} — "
             "larger id spaces would silently collide or overflow int64"
         )
+
+
+def normalize_batch(
+    src,
+    dst,
+    weights,
+    *,
+    num_vertices: int,
+    weighted: bool,
+    self_loops: str = "drop",
+    dedup_batches: bool = False,
+    default_weight: int = 0,
+    fill_default_weight: bool = True,
+    backend_name: str = "backend",
+):
+    """The single batch-normalization seam (shared by :class:`Graph` and
+    the shard router): coerce to int64, check lengths and bounds, apply
+    the self-loop policy, optionally collapse intra-batch duplicates
+    (last occurrence wins), and default weights."""
+    src = as_int_array(src, "src")
+    dst = as_int_array(dst, "dst")
+    check_equal_length(("src", src), ("dst", dst))
+    if src.size:
+        check_in_range(src, 0, num_vertices, "src")
+        check_in_range(dst, 0, num_vertices, "dst")
+    if weights is not None:
+        if not weighted:
+            raise ValidationError(
+                f"graph is unweighted (backend {backend_name}); "
+                "weights are not accepted — construct with weighted=True"
+            )
+        weights = as_int_array(weights, "weights")
+        check_equal_length(("src", src), ("weights", weights))
+    loops = src == dst
+    if loops.any():
+        if self_loops == "error":
+            raise ValidationError(
+                f"batch contains {int(loops.sum())} self-loop(s) and this "
+                "Graph was constructed with self_loops='error'"
+            )
+        keep = ~loops
+        src, dst = src[keep], dst[keep]
+        weights = weights[keep] if weights is not None else None
+    if dedup_batches and src.size:
+        comp = (src << np.int64(32)) | dst
+        keep = last_occurrence_mask(comp)
+        src, dst = src[keep], dst[keep]
+        weights = weights[keep] if weights is not None else None
+    if weights is None and weighted and fill_default_weight:
+        weights = np.full(src.shape[0], default_weight, dtype=np.int64)
+    return src, dst, weights
+
+
+class _LegacyDeltaAdapter:
+    """Bridges an ``on_edge_batch``/``on_structural`` subscriber onto the
+    event log's ``on_event`` protocol (see :meth:`Graph.subscribe_deltas`)."""
+
+    def __init__(self, subscriber) -> None:
+        self.subscriber = subscriber
+
+    def on_event(self, event) -> None:
+        if isinstance(event, EdgeBatch):
+            self.subscriber.on_edge_batch(
+                event.is_insert, event.src, event.dst, event.weights, event.before_version
+            )
+        elif isinstance(event, StructuralEvent):
+            self.subscriber.on_structural(event.reason)
 
 
 class Graph:
@@ -124,8 +200,10 @@ class Graph:
         if snapshot_delta_limit < 0:
             raise ValidationError("snapshot_delta_limit must be non-negative")
         self.snapshot_delta_limit = int(snapshot_delta_limit)
-        self._delta_subscribers: list = []
-        self._reset_delta(getattr(backend, "mutation_version", 0))
+        #: The first-class event log every facade mutation publishes to.
+        self.events = EventLog(retention_rows=self.snapshot_delta_limit)
+        self._snap_cursor = self.events.cursor()
+        self._legacy_subscribers: dict = {}
 
     @classmethod
     def create(
@@ -177,42 +255,26 @@ class Graph:
         """Backends without an explicit mode store directed slots."""
         return bool(getattr(self.backend, "directed", True))
 
+    @property
+    def mutation_version(self):
+        """The backend's monotone mutation version (None if unversioned)."""
+        return getattr(self.backend, "mutation_version", None)
+
     # -- batch normalization (the single validation seam) ------------------------
 
     def _normalize(self, src, dst, weights, *, fill_default_weight: bool = True):
-        src = as_int_array(src, "src")
-        dst = as_int_array(dst, "dst")
-        check_equal_length(("src", src), ("dst", dst))
-        if src.size:
-            n = self.num_vertices
-            check_in_range(src, 0, n, "src")
-            check_in_range(dst, 0, n, "dst")
-        if weights is not None:
-            if not self.weighted:
-                raise ValidationError(
-                    f"graph is unweighted (backend {type(self.backend).__name__}); "
-                    "weights are not accepted — construct with weighted=True"
-                )
-            weights = as_int_array(weights, "weights")
-            check_equal_length(("src", src), ("weights", weights))
-        loops = src == dst
-        if loops.any():
-            if self.self_loops == "error":
-                raise ValidationError(
-                    f"batch contains {int(loops.sum())} self-loop(s) and this "
-                    "Graph was constructed with self_loops='error'"
-                )
-            keep = ~loops
-            src, dst = src[keep], dst[keep]
-            weights = weights[keep] if weights is not None else None
-        if self.dedup_batches and src.size:
-            comp = (src << np.int64(32)) | dst
-            keep = last_occurrence_mask(comp)
-            src, dst = src[keep], dst[keep]
-            weights = weights[keep] if weights is not None else None
-        if weights is None and self.weighted and fill_default_weight:
-            weights = np.full(src.shape[0], self.default_weight, dtype=np.int64)
-        return src, dst, weights
+        return normalize_batch(
+            src,
+            dst,
+            weights,
+            num_vertices=self.num_vertices,
+            weighted=self.weighted,
+            self_loops=self.self_loops,
+            dedup_batches=self.dedup_batches,
+            default_weight=self.default_weight,
+            fill_default_weight=fill_default_weight,
+            backend_name=type(self.backend).__name__,
+        )
 
     # -- mutation -----------------------------------------------------------------
 
@@ -221,10 +283,9 @@ class Graph:
         src, dst, weights = self._normalize(src, dst, weights)
         if src.size == 0:
             return 0
-        before = getattr(self.backend, "mutation_version", None)
+        before = self.mutation_version
         added = int(self.backend.insert_edges(src, dst, weights))
-        self._log_delta(True, src, dst, weights, before)
-        self._notify_edges(True, src, dst, weights, before)
+        self._publish_edges(True, src, dst, weights, before)
         return added
 
     def delete_edges(self, src, dst) -> int:
@@ -232,27 +293,26 @@ class Graph:
         src, dst, _ = self._normalize(src, dst, None, fill_default_weight=False)
         if src.size == 0:
             return 0
-        before = getattr(self.backend, "mutation_version", None)
+        before = self.mutation_version
         removed = int(self.backend.delete_edges(src, dst))
-        self._log_delta(False, src, dst, None, before)
-        self._notify_edges(False, src, dst, None, before)
+        self._publish_edges(False, src, dst, None, before)
         return removed
 
     def delete_vertices(self, vertex_ids) -> int:
         """Delete vertices and incident edges (capability-gated).
 
         Not expressible as an edge delta (incident edges live in other
-        rows), so the snapshot delta log is dropped and the next
-        :meth:`snapshot` rebuilds cold.
+        rows), so a structural event is published and event-log consumers
+        — the next :meth:`snapshot` included — rebuild cold.
         """
         self._require("vertex_dynamic")
         vids = as_int_array(vertex_ids, "vertex_ids")
         if vids.size == 0:
             return 0
         check_in_range(vids, 0, self.num_vertices, "vertex_ids")
+        before = self.mutation_version
         removed = int(self.backend.delete_vertices(vids))
-        self._invalidate_delta()
-        self._notify_structural("delete_vertices")
+        self._publish_structural("delete_vertices", before)
         return removed
 
     def bulk_build(self, coo: COO) -> int:
@@ -267,9 +327,9 @@ class Graph:
         _check_packable(int(coo.num_vertices))
         if coo.weights is not None and not self.weighted:
             coo = COO(coo.src, coo.dst, coo.num_vertices, weights=None)
+        before = self.mutation_version
         built = int(self.backend.bulk_build(coo))
-        self._invalidate_delta()
-        self._notify_structural("bulk_build")
+        self._publish_structural("bulk_build", before)
         return built
 
     # -- queries --------------------------------------------------------------------
@@ -326,31 +386,30 @@ class Graph:
 
         1. **cached** — the backend is unchanged since the last snapshot:
            return the same object, zero work;
-        2. **incremental** — every change since the cached snapshot is an
-           edge batch this facade applied: sort the O(batch) delta and
-           merge it into the cached sorted CSR (O(E + B log B));
-        3. **cold** — anything else (vertex deletion, rehash, tombstone
-           flush, bulk build, out-of-band backend mutation, delta
-           overflow): full export + O(E log E) sort.
+        2. **incremental** — the event-log window since the cached
+           snapshot is complete (no retention gap), purely edge batches,
+           and its version chain connects the cached version to the live
+           one: sort the O(batch) delta and merge it into the cached
+           sorted CSR (O(E + B log B));
+        3. **cold** — anything else (structural events, version-chain
+           breaks from out-of-band backend mutations, retention gaps):
+           full export + O(E log E) sort.
         """
         backend = self.backend
         version = getattr(backend, "mutation_version", 0)
         cached = getattr(backend, "_snapshot_cache", None)
-        if (
-            cached is not None
-            and cached[0] != version
-            and self._delta_log
-            and self._delta_base == cached[0]
-            and self._delta_version == version
-        ):
-            snap = self._merge_logged_delta(cached[1])
+        window = None
+        if cached is not None and cached[0] != version:
+            window = self._mergeable_window(cached[0], version)
+        if window:
+            snap = merge_event_window(cached[1], window, directed=self.directed)
             backend._snapshot_cache = (version, snap)
         else:
             # Cache hit or cold rebuild — both version-keyed by the
             # backend's own snapshot() (as_snapshot also admits foreign
             # graph objects that only expose export_coo).
             snap = as_snapshot(backend)
-        self._reset_delta(version)
+        self._snap_cursor.poll()  # re-anchor at the log's tail
         return snap
 
     def neighbor_range(self, vertex: int, lo: int, hi: int) -> np.ndarray:
@@ -363,109 +422,63 @@ class Graph:
 
     def rehash(self, vertex_ids=None, load_factor: float | None = None) -> int:
         self._require("rehash")
+        before = self.mutation_version
         rebuilt = int(self.backend.rehash(vertex_ids, load_factor))
-        self._invalidate_delta()
-        self._notify_structural("rehash")
+        self._publish_structural("rehash", before)
         return rebuilt
 
     def flush_tombstones(self, vertex_ids=None) -> None:
         self._require("tombstone_flush")
+        before = self.mutation_version
         self.backend.flush_tombstones(vertex_ids)
-        self._invalidate_delta()
-        self._notify_structural("flush_tombstones")
+        self._publish_structural("flush_tombstones", before)
 
-    # -- snapshot delta log ------------------------------------------------------------
+    # -- event publishing --------------------------------------------------------------
 
-    def _reset_delta(self, anchor_version: int) -> None:
-        """Start an empty delta log anchored at ``anchor_version``."""
-        self._delta_log: list = []
-        self._delta_rows = 0
-        self._delta_base = anchor_version
-        self._delta_version = anchor_version
+    def _publish_edges(self, is_insert: bool, src, dst, weights, before_version) -> None:
+        # Undirected backends mirror each batch internally; the mirrored
+        # rows are added at merge time but accounted against retention
+        # (and the merge's sort charge) here.
+        rows = int(src.shape[0]) * (1 if self.directed else 2)
+        self.events.publish_edge_batch(
+            is_insert,
+            src,
+            dst,
+            weights,
+            before_version=before_version,
+            after_version=self.mutation_version,
+            rows=rows,
+        )
 
-    def _invalidate_delta(self) -> None:
-        """Drop the log; the next snapshot rebuilds cold and re-anchors.
-
-        A backend cache that is already stale can no longer serve either a
-        hit or a merge base, so release its O(E) arrays too rather than
-        pinning them until the next snapshot.
-        """
-        self._delta_log = []
-        self._delta_rows = 0
-        self._delta_base = -1
-        self._delta_version = -1
+    def _publish_structural(self, reason: str, before_version) -> None:
+        self.events.publish_structural(
+            reason, before_version=before_version, after_version=self.mutation_version
+        )
+        # A backend snapshot cache that is now stale can no longer serve
+        # either a hit or a merge base, so release its O(E) arrays rather
+        # than pinning them until the next snapshot.
         backend = self.backend
         cache = getattr(backend, "_snapshot_cache", None)
         if cache is not None and cache[0] != getattr(backend, "mutation_version", 0):
             backend._snapshot_cache = None
 
-    def _log_delta(self, is_insert: bool, src, dst, weights, before_version) -> None:
-        """Append one applied (normalized) batch to the delta log.
+    def _mergeable_window(self, base_version, live_version):
+        """The pending event window iff it can serve an incremental merge:
+        complete (no retention gap), purely edge batches, and version-
+        chained from the cached snapshot to the live backend."""
+        events, gapped = self._snap_cursor.peek()
+        if gapped or not events:
+            return None
+        if not all(isinstance(e, EdgeBatch) for e in events):
+            return None
+        if not version_chain_intact(events, base_version, live_version):
+            return None
+        return events
 
-        ``before_version`` is the backend version observed immediately
-        before dispatch; if it does not match the log's head, something
-        mutated the backend out-of-band and the log is no longer a
-        faithful replay — drop it.
-        """
-        if before_version is None or before_version != self._delta_version:
-            self._invalidate_delta()
-            return
-        # Undirected backends mirror each batch internally; the mirrored
-        # rows are added at merge time but counted against the bound here.
-        self._delta_rows += int(src.shape[0]) * (1 if self.directed else 2)
-        if self._delta_rows > self.snapshot_delta_limit:
-            self._invalidate_delta()
-            return
-        # Copy: normalization fast-paths clean int64 input through, so the
-        # arrays may alias a caller buffer that gets refilled before the
-        # next snapshot.
-        self._delta_log.append(
-            (
-                is_insert,
-                src.copy(),
-                dst.copy(),
-                None if weights is None else weights.copy(),
-            )
-        )
-        self._delta_version = getattr(self.backend, "mutation_version", -1)
-
-    def _merge_logged_delta(self, base: CSRSnapshot) -> CSRSnapshot:
-        """Reduce the log to net per-key ops and merge them into ``base``."""
-        srcs, dsts, ws, kinds = [], [], [], []
-        for is_insert, src, dst, weights in self._delta_log:
-            if not self.directed:
-                src, dst = (
-                    np.concatenate([src, dst]),
-                    np.concatenate([dst, src]),
-                )
-                if weights is not None:
-                    weights = np.concatenate([weights, weights])
-            srcs.append(src)
-            dsts.append(dst)
-            ws.append(
-                weights
-                if weights is not None
-                else np.zeros(src.shape[0], dtype=np.int64)
-            )
-            kinds.append(np.full(src.shape[0], is_insert, dtype=bool))
-        src = np.concatenate(srcs)
-        dst = np.concatenate(dsts)
-        w = np.concatenate(ws)
-        is_ins = np.concatenate(kinds)
-        comp = (src << np.int64(32)) | dst
-        # Replace semantics across the whole log: the last op per key wins.
-        get_counters().sorted_elements += int(comp.shape[0])
-        last = last_occurrence_mask(comp)
-        comp, w, is_ins = comp[last], w[last], is_ins[last]
-        order = np.argsort(comp)
-        comp, w, is_ins = comp[order], w[order], is_ins[order]
-        weighted = base.weights is not None
-        return merge_csr_delta(
-            base,
-            comp[is_ins],
-            w[is_ins] if weighted else None,
-            comp[~is_ins],
-        )
+    @property
+    def _delta_rows(self) -> int:
+        """Pending snapshot-merge rows (mirror-adjusted; test hook)."""
+        return self._snap_cursor.pending_rows()
 
     # -- delta subscribers -------------------------------------------------------------
 
@@ -474,33 +487,24 @@ class Graph:
 
         ``subscriber`` must implement ``on_edge_batch(is_insert, src, dst,
         weights, before_version)`` — called after every applied edge
-        batch with the *normalized* arrays (self-loops dropped, dedup
-        applied, weights defaulted; valid only for the duration of the
-        call — copy to keep) — and ``on_structural(reason)`` for
-        mutations that cannot be expressed as an edge delta
+        batch with the *normalized* arrays — and ``on_structural(reason)``
+        for mutations that cannot be expressed as an edge delta
         (``"delete_vertices"``, ``"bulk_build"``, ``"rehash"``,
-        ``"flush_tombstones"``).  ``before_version`` is the backend's
-        ``mutation_version`` observed immediately before dispatch;
-        mutations applied to the backend behind the facade's back are
-        *not* observed, so subscribers that need exactness must compare
-        it against the version they last folded in (see
-        :mod:`repro.stream.incremental`).
+        ``"flush_tombstones"``).  This is a compatibility adapter over
+        ``self.events.subscribe``; consumers that want sequence numbers,
+        cursors, or gap detection should use the event log directly.
         """
-        if subscriber not in self._delta_subscribers:
-            self._delta_subscribers.append(subscriber)
+        if subscriber in self._legacy_subscribers:
+            return
+        adapter = _LegacyDeltaAdapter(subscriber)
+        self._legacy_subscribers[subscriber] = adapter
+        self.events.subscribe(adapter)
 
     def unsubscribe_deltas(self, subscriber) -> None:
         """Remove a subscriber registered via :meth:`subscribe_deltas`."""
-        if subscriber in self._delta_subscribers:
-            self._delta_subscribers.remove(subscriber)
-
-    def _notify_edges(self, is_insert: bool, src, dst, weights, before_version) -> None:
-        for sub in list(self._delta_subscribers):
-            sub.on_edge_batch(is_insert, src, dst, weights, before_version)
-
-    def _notify_structural(self, reason: str) -> None:
-        for sub in list(self._delta_subscribers):
-            sub.on_structural(reason)
+        adapter = self._legacy_subscribers.pop(subscriber, None)
+        if adapter is not None:
+            self.events.unsubscribe(adapter)
 
     # -- plumbing ----------------------------------------------------------------------
 

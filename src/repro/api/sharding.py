@@ -1,0 +1,597 @@
+"""A sharded multi-graph service built on the event log.
+
+The paper's phase-concurrent model assumes one device-resident structure;
+scaling past one device (or one allocator arena) means partitioning the
+vertex space across N independent :class:`repro.api.Graph` shards and
+routing work to them.  This module is that layer:
+
+- :class:`Partitioner` — a deterministic multiplicative-hash partition of
+  the vertex-id space (balanced for both random and contiguous id
+  populations, unlike a plain modulus);
+- :class:`ShardedGraph` — a facade with the same batch surface as
+  :class:`~repro.api.Graph`.  Batches are normalized **once** (the same
+  :func:`repro.api.facade.normalize_batch` seam the single-graph facade
+  uses), published to the router's own :class:`repro.eventlog.EventLog`,
+  and routed to per-shard facades by the *source* vertex's owner — a cut
+  edge ``(u, v)`` with ``owner(u) != owner(v)`` is stored in ``u``'s
+  shard, so every vertex's full out-adjacency lives in exactly one shard.
+  Queries (``degree`` / ``edge_exists`` / ``edge_weights`` /
+  ``adjacencies`` / ``neighbors``) scatter to the owning shards and
+  gather results back into the caller's order.
+
+Because the router publishes the same typed events a single facade does,
+every event-log consumer works unchanged on a sharded service: the
+incremental analytics of :mod:`repro.stream.incremental` attach to
+``ShardedGraph.events`` exactly as they do to ``Graph.events``, and
+:meth:`ShardedGraph.snapshot` assembles a **global** sorted
+:class:`~repro.api.snapshot.CSRSnapshot` from the per-shard cached
+snapshots (each maintained incrementally by its shard's own event-log
+merge), so ``pagerank`` / ``connected_components`` / triangle counting
+run unchanged — and bit-identical to the same workload applied to a
+single ``Graph``.
+
+Cost accounting: shard dispatches are independent, so the device model
+prices an update batch as *router overhead + the slowest shard*
+(:attr:`ShardedGraph.update_costs` ``.parallel_seconds``) alongside the
+total work across shards (``.serial_seconds``).  The ``t12/shard`` bench
+artifact reports aggregate update throughput under the parallel model vs.
+shard count, and the scatter-gather work inflation queries pay for the
+same answers — the cross-shard query tax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.api.facade import (
+    DEFAULT_DELTA_LIMIT,
+    Graph,
+    _check_packable,
+    normalize_batch,
+)
+from repro.api.snapshot import CSRSnapshot
+from repro.coo import COO
+from repro.eventlog import EventLog
+from repro.gpusim.counters import counting, get_counters
+from repro.gpusim.model import simulated_seconds
+from repro.util.errors import ValidationError
+from repro.util.validation import as_int_array, check_equal_length, check_in_range
+
+__all__ = ["Partitioner", "ShardedGraph", "ShardCosts"]
+
+#: Fibonacci multiplier (golden-ratio reciprocal in 64 bits) — spreads
+#: consecutive ids across the hash space.
+_FIB = np.uint64(0x9E3779B97F4A7C15)
+
+
+class Partitioner:
+    """Deterministic hash partition of the vertex-id space into N shards.
+
+    Uses a multiplicative (Fibonacci) hash so both random and contiguous
+    id populations balance; a plain ``id % N`` would stripe contiguous
+    ranges perfectly but correlate with any id-structured workload.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValidationError("num_shards must be >= 1")
+        self.num_shards = int(num_shards)
+
+    def shard_of(self, vertex_ids) -> np.ndarray:
+        """Owner shard per vertex id (vectorized, int64 in [0, N))."""
+        ids = np.asarray(vertex_ids, dtype=np.int64).astype(np.uint64)
+        h = (ids * _FIB) >> np.uint64(40)
+        return (h % np.uint64(self.num_shards)).astype(np.int64)
+
+    def cut_mask(self, src, dst) -> np.ndarray:
+        """True per edge when its endpoints live on different shards."""
+        return self.shard_of(src) != self.shard_of(dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partitioner(num_shards={self.num_shards})"
+
+
+@dataclass
+class ShardCosts:
+    """Modeled device seconds accumulated by the router for one class of
+    operations (updates or queries).
+
+    ``parallel_seconds`` prices each call as router overhead plus the
+    slowest shard (shards execute independently); ``serial_seconds`` is
+    router overhead plus the *sum* over shards — the aggregate device
+    work burned, whose ratio to a single-shard run is the fan-out tax.
+    """
+
+    num_shards: int
+    parallel_seconds: float = 0.0
+    serial_seconds: float = 0.0
+    per_shard_seconds: list = field(default_factory=list)
+    calls: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.per_shard_seconds:
+            self.per_shard_seconds = [0.0] * self.num_shards
+
+    def record(self, router_seconds: float, shard_times) -> None:
+        """Fold one routed call: ``shard_times`` is ``[(shard, secs), ...]``."""
+        slowest = 0.0
+        total = 0.0
+        for shard, secs in shard_times:
+            self.per_shard_seconds[shard] += secs
+            slowest = max(slowest, secs)
+            total += secs
+        self.parallel_seconds += router_seconds + slowest
+        self.serial_seconds += router_seconds + total
+        self.calls += 1
+
+    def copy(self) -> "ShardCosts":
+        out = ShardCosts(self.num_shards)
+        out.parallel_seconds = self.parallel_seconds
+        out.serial_seconds = self.serial_seconds
+        out.per_shard_seconds = list(self.per_shard_seconds)
+        out.calls = self.calls
+        return out
+
+
+class ShardedGraph:
+    """N per-shard :class:`Graph` facades behind one batch surface.
+
+    Construct with :meth:`ShardedGraph.create` (fresh shards by registry
+    name) or wrap pre-constructed **empty** shard facades directly — the
+    router's routing invariant (each vertex's out-edges live only in its
+    owner shard) must hold from the first batch, so populated shards are
+    rejected.
+
+    Only directed shard backends are supported: an undirected backend
+    mirrors ``(u, v)`` into ``v``'s adjacency *inside u's shard*, which
+    would scatter a vertex's neighborhood across shards and break both
+    routed queries and global snapshot assembly.
+    """
+
+    def __init__(
+        self,
+        shards,
+        partitioner: Partitioner | None = None,
+        *,
+        self_loops: str = "drop",
+        dedup_batches: bool = False,
+        default_weight: int = 0,
+        event_retention: int = DEFAULT_DELTA_LIMIT,
+    ) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValidationError("ShardedGraph needs at least one shard")
+        for shard in shards:
+            if not isinstance(shard, Graph):
+                raise ValidationError(
+                    f"shards must be repro.api.Graph facades, got {type(shard).__name__}"
+                )
+            if not shard.directed:
+                raise ValidationError(
+                    "ShardedGraph requires directed shard backends (an "
+                    "undirected backend would mirror cut edges inside the "
+                    "wrong shard); symmetric edge sets work fine — insert "
+                    "both orientations, as the dataset generators do"
+                )
+            if shard.num_edges() != 0:
+                raise ValidationError(
+                    "ShardedGraph shards must start empty so the routing "
+                    "invariant (out-edges live in the owner shard) holds"
+                )
+        first = shards[0]
+        if any(s.num_vertices != first.num_vertices for s in shards):
+            raise ValidationError("all shards must share one vertex-id space")
+        if any(s.weighted != first.weighted for s in shards):
+            raise ValidationError("all shards must agree on weightedness")
+        if self_loops not in ("drop", "error"):
+            raise ValidationError(f"self_loops must be 'drop' or 'error', got {self_loops!r}")
+        _check_packable(first.num_vertices)
+        self.shards = shards
+        self.partitioner = partitioner or Partitioner(len(shards))
+        if self.partitioner.num_shards != len(shards):
+            raise ValidationError(
+                f"partitioner covers {self.partitioner.num_shards} shards "
+                f"but {len(shards)} were provided"
+            )
+        self.self_loops = self_loops
+        self.dedup_batches = bool(dedup_batches)
+        self.default_weight = int(default_weight)
+        #: The router's own event log: normalized *global* batches and
+        #: structural events, version-stamped with the aggregate
+        #: :attr:`mutation_version` — the same contract a single facade
+        #: publishes, so cursor consumers work unchanged.
+        self.events = EventLog(retention_rows=event_retention)
+        self.update_costs = ShardCosts(len(shards))
+        self.query_costs = ShardCosts(len(shards))
+        self._snap_cache: tuple | None = None
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        num_vertices: int,
+        *,
+        num_shards: int = 4,
+        weighted: bool = False,
+        self_loops: str = "drop",
+        dedup_batches: bool = False,
+        default_weight: int = 0,
+        snapshot_delta_limit: int = DEFAULT_DELTA_LIMIT,
+        event_retention: int = DEFAULT_DELTA_LIMIT,
+        partitioner: Partitioner | None = None,
+        **backend_kwargs: Any,
+    ) -> "ShardedGraph":
+        """Construct ``num_shards`` fresh registry backends and shard them.
+
+        Every shard addresses the full global vertex-id space, so global
+        ids route and query without translation; per-shard structures
+        only ever hold the edges they own.
+        """
+        shards = [
+            Graph.create(
+                name,
+                num_vertices,
+                weighted=weighted,
+                snapshot_delta_limit=snapshot_delta_limit,
+                **backend_kwargs,
+            )
+            for _ in range(num_shards)
+        ]
+        return cls(
+            shards,
+            partitioner,
+            self_loops=self_loops,
+            dedup_batches=dedup_batches,
+            default_weight=default_weight,
+            event_retention=event_retention,
+        )
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.shards[0].num_vertices
+
+    @property
+    def weighted(self) -> bool:
+        return self.shards[0].weighted
+
+    @property
+    def directed(self) -> bool:
+        return True
+
+    @property
+    def capabilities(self):
+        """Capabilities of the shard instances (uniform by construction)."""
+        return self.shards[0].capabilities
+
+    @property
+    def mutation_version(self):
+        """Aggregate monotone version: the sum of shard versions (every
+        shard mutation bumps it, so event-log chain checks work)."""
+        total = 0
+        for shard in self.shards:
+            version = shard.mutation_version
+            if version is None:
+                return None
+            total += int(version)
+        return total
+
+    # -- routing helpers ----------------------------------------------------------
+
+    def _normalize(self, src, dst, weights, *, fill_default_weight: bool = True):
+        return normalize_batch(
+            src,
+            dst,
+            weights,
+            num_vertices=self.num_vertices,
+            weighted=self.weighted,
+            self_loops=self.self_loops,
+            dedup_batches=self.dedup_batches,
+            default_weight=self.default_weight,
+            fill_default_weight=fill_default_weight,
+            backend_name=type(self.shards[0].backend).__name__,
+        )
+
+    def _charge_router(self, rows: int) -> float:
+        """Price the scatter/gather the router performs around a fan-out
+        (one dispatch plus moving the routed rows), and return it."""
+        delta = {"kernel_launches": 1, "bytes_copied": int(rows) * 16}
+        counters = get_counters()
+        counters.kernel_launches += 1
+        counters.bytes_copied += int(rows) * 16
+        return simulated_seconds(delta)
+
+    def _fan_out(self, owner, costs: ShardCosts, router_seconds: float, dispatch):
+        """Run ``dispatch(shard_index, shard, row_mask)`` for every shard
+        that owns rows, recording per-shard modeled cost."""
+        shard_times = []
+        for s, shard in enumerate(self.shards):
+            mask = owner == s
+            if not mask.any():
+                continue
+            with counting() as delta:
+                dispatch(s, shard, mask)
+            shard_times.append((s, simulated_seconds(delta)))
+        costs.record(router_seconds, shard_times)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert_edges(self, src, dst, weights=None) -> int:
+        """Normalize once, route to owner shards, publish one event."""
+        src, dst, weights = self._normalize(src, dst, weights)
+        if src.size == 0:
+            return 0
+        before = self.mutation_version
+        owner = self.partitioner.shard_of(src)
+        router = self._charge_router(src.shape[0])
+        added = 0
+
+        def dispatch(s, shard, mask):
+            nonlocal added
+            added += shard.insert_edges(
+                src[mask], dst[mask], weights[mask] if weights is not None else None
+            )
+
+        self._fan_out(owner, self.update_costs, router, dispatch)
+        self.events.publish_edge_batch(
+            True,
+            src,
+            dst,
+            weights,
+            before_version=before,
+            after_version=self.mutation_version,
+            rows=int(src.shape[0]),
+        )
+        return added
+
+    def delete_edges(self, src, dst) -> int:
+        src, dst, _ = self._normalize(src, dst, None, fill_default_weight=False)
+        if src.size == 0:
+            return 0
+        before = self.mutation_version
+        owner = self.partitioner.shard_of(src)
+        router = self._charge_router(src.shape[0])
+        removed = 0
+
+        def dispatch(s, shard, mask):
+            nonlocal removed
+            removed += shard.delete_edges(src[mask], dst[mask])
+
+        self._fan_out(owner, self.update_costs, router, dispatch)
+        self.events.publish_edge_batch(
+            False,
+            src,
+            dst,
+            None,
+            before_version=before,
+            after_version=self.mutation_version,
+            rows=int(src.shape[0]),
+        )
+        return removed
+
+    def delete_vertices(self, vertex_ids) -> int:
+        """Delete vertices and all incident edges.
+
+        Out-edges live in the owner shard, but *in*-edges live wherever
+        their source is owned — so the batch fans out to every shard, and
+        the return value sums per-shard deactivations (a vertex counts
+        once per shard that had activated it).
+        """
+        vids = as_int_array(vertex_ids, "vertex_ids")
+        if vids.size == 0:
+            return 0
+        check_in_range(vids, 0, self.num_vertices, "vertex_ids")
+        before = self.mutation_version
+        router = self._charge_router(vids.shape[0])
+        shard_times = []
+        removed = 0
+        for s, shard in enumerate(self.shards):
+            with counting() as delta:
+                removed += shard.delete_vertices(vids)
+            shard_times.append((s, simulated_seconds(delta)))
+        self.update_costs.record(router, shard_times)
+        self.events.publish_structural(
+            "delete_vertices", before_version=before, after_version=self.mutation_version
+        )
+        return removed
+
+    def bulk_build(self, coo: COO) -> int:
+        """One-shot build: split the COO by owner shard, build each."""
+        _check_packable(int(coo.num_vertices))
+        if coo.weights is not None and not self.weighted:
+            coo = COO(coo.src, coo.dst, coo.num_vertices, weights=None)
+        before = self.mutation_version
+        owner = self.partitioner.shard_of(coo.src)
+        router = self._charge_router(coo.num_edges)
+        shard_times = []
+        built = 0
+        for s, shard in enumerate(self.shards):
+            mask = owner == s
+            part = COO(
+                coo.src[mask],
+                coo.dst[mask],
+                coo.num_vertices,
+                weights=coo.weights[mask] if coo.weights is not None else None,
+            )
+            with counting() as delta:
+                built += shard.bulk_build(part)
+            shard_times.append((s, simulated_seconds(delta)))
+        self.update_costs.record(router, shard_times)
+        self.events.publish_structural(
+            "bulk_build", before_version=before, after_version=self.mutation_version
+        )
+        return built
+
+    # -- queries (scatter-gather) ----------------------------------------------------
+
+    def edge_exists(self, src, dst) -> np.ndarray:
+        src = as_int_array(src, "src")
+        dst = as_int_array(dst, "dst")
+        check_equal_length(("src", src), ("dst", dst))
+        if src.size == 0:
+            return np.empty(0, dtype=bool)
+        check_in_range(src, 0, self.num_vertices, "src")
+        check_in_range(dst, 0, self.num_vertices, "dst")
+        owner = self.partitioner.shard_of(src)
+        router = self._charge_router(src.shape[0])
+        out = np.zeros(src.shape[0], dtype=bool)
+
+        def dispatch(s, shard, mask):
+            out[mask] = shard.edge_exists(src[mask], dst[mask])
+
+        self._fan_out(owner, self.query_costs, router, dispatch)
+        return out
+
+    def edge_weights(self, src, dst) -> tuple[np.ndarray, np.ndarray]:
+        src = as_int_array(src, "src")
+        dst = as_int_array(dst, "dst")
+        check_equal_length(("src", src), ("dst", dst))
+        if src.size == 0:
+            return np.empty(0, dtype=bool), np.empty(0, dtype=np.int64)
+        check_in_range(src, 0, self.num_vertices, "src")
+        check_in_range(dst, 0, self.num_vertices, "dst")
+        owner = self.partitioner.shard_of(src)
+        router = self._charge_router(src.shape[0])
+        exists = np.zeros(src.shape[0], dtype=bool)
+        weights = np.zeros(src.shape[0], dtype=np.int64)
+
+        def dispatch(s, shard, mask):
+            exists[mask], weights[mask] = shard.edge_weights(src[mask], dst[mask])
+
+        self._fan_out(owner, self.query_costs, router, dispatch)
+        return exists, weights
+
+    def degree(self, vertex_ids) -> np.ndarray:
+        """Out-degree per requested vertex, gathered from owner shards."""
+        vids = as_int_array(vertex_ids, "vertex_ids")
+        if vids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        check_in_range(vids, 0, self.num_vertices, "vertex_ids")
+        owner = self.partitioner.shard_of(vids)
+        router = self._charge_router(vids.shape[0])
+        out = np.zeros(vids.shape[0], dtype=np.int64)
+
+        def dispatch(s, shard, mask):
+            out[mask] = shard.degree(vids[mask])
+
+        self._fan_out(owner, self.query_costs, router, dispatch)
+        return out
+
+    def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
+        v = int(vertex)
+        check_in_range(np.array([v]), 0, self.num_vertices, "vertex")
+        shard = self.shards[int(self.partitioner.shard_of(np.array([v]))[0])]
+        return shard.neighbors(v)
+
+    def adjacencies(self, vertex_ids) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched ``(owner_pos, destinations, weights)`` gathered from
+        owner shards; rows are grouped by ascending position in
+        ``vertex_ids`` (neighbor order within a vertex is shard-native)."""
+        vids = as_int_array(vertex_ids, "vertex_ids")
+        if vids.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        check_in_range(vids, 0, self.num_vertices, "vertex_ids")
+        owner = self.partitioner.shard_of(vids)
+        router = self._charge_router(vids.shape[0])
+        pos_parts: list = []
+        dst_parts: list = []
+        w_parts: list = []
+
+        def dispatch(s, shard, mask):
+            pos = np.flatnonzero(mask)
+            owner_pos, dsts, ws = shard.adjacencies(vids[mask])
+            pos_parts.append(pos[owner_pos])
+            dst_parts.append(dsts)
+            w_parts.append(ws)
+
+        self._fan_out(owner, self.query_costs, router, dispatch)
+        if not pos_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        pos = np.concatenate(pos_parts)
+        dsts = np.concatenate(dst_parts)
+        ws = np.concatenate(w_parts)
+        order = np.argsort(pos, kind="stable")
+        get_counters().bytes_copied += int(pos.shape[0]) * 24
+        return pos[order], dsts[order], ws[order]
+
+    def num_edges(self) -> int:
+        return sum(shard.num_edges() for shard in self.shards)
+
+    def memory_bytes(self) -> int:
+        return sum(shard.memory_bytes() for shard in self.shards)
+
+    def export_coo(self) -> COO:
+        parts = [shard.export_coo() for shard in self.shards]
+        weighted = self.weighted
+        return COO(
+            np.concatenate([p.src for p in parts]),
+            np.concatenate([p.dst for p in parts]),
+            self.num_vertices,
+            weights=np.concatenate([p.weights for p in parts]) if weighted else None,
+        )
+
+    # -- global snapshot ---------------------------------------------------------------
+
+    def snapshot(self) -> CSRSnapshot:
+        """Assemble the global sorted-CSR view from per-shard snapshots.
+
+        Each shard serves its snapshot through its own cached /
+        incremental / cold tiers; the router then places every shard's
+        rows at the owning vertices' global offsets — O(E) stream work,
+        charged as copy traffic.  Because a vertex's out-edges live in
+        exactly one shard and each shard's CSR is already
+        destination-sorted per vertex, the assembled snapshot is
+        bit-identical to the snapshot of a single :class:`Graph` given
+        the same workload.  Unchanged shards re-serve the same assembled
+        object for free.
+        """
+        versions = tuple(shard.mutation_version for shard in self.shards)
+        if self._snap_cache is not None and self._snap_cache[0] == versions:
+            return self._snap_cache[1]
+        shard_snaps = [shard.snapshot() for shard in self.shards]
+        n = self.num_vertices
+        counts = np.zeros(n, dtype=np.int64)
+        for snap in shard_snaps:
+            counts += np.diff(snap.row_ptr)
+        row_ptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        total = int(row_ptr[-1])
+        col_idx = np.empty(total, dtype=np.int64)
+        weights = np.empty(total, dtype=np.int64) if self.weighted else None
+        counters = get_counters()
+        counters.kernel_launches += len(shard_snaps)
+        counters.bytes_copied += total * (16 if self.weighted else 8) + (n + 1) * 8
+        for snap in shard_snaps:
+            if snap.num_edges == 0:
+                continue
+            deg = np.diff(snap.row_ptr)
+            # Only the owner shard holds rows for a vertex, so its global
+            # slice starts at row_ptr[v] and the shard-local offset maps
+            # rows across with one repeat + add.
+            place = np.arange(snap.num_edges, dtype=np.int64) + np.repeat(
+                row_ptr[:-1] - snap.row_ptr[:-1], deg
+            )
+            col_idx[place] = snap.col_idx
+            if weights is not None:
+                weights[place] = snap.weights
+        assembled = CSRSnapshot(
+            row_ptr=row_ptr, col_idx=col_idx, weights=weights, num_vertices=n
+        )
+        self._snap_cache = (versions, assembled)
+        return assembled
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedGraph({type(self.shards[0].backend).__name__} x "
+            f"{self.num_shards}, |V|={self.num_vertices}, |E|={self.num_edges()}, "
+            f"weighted={self.weighted})"
+        )

@@ -27,8 +27,15 @@ import numpy as np
 from repro.coo import COO
 from repro.gpusim.counters import get_counters
 from repro.util.errors import ValidationError
+from repro.util.groupby import last_occurrence_mask
 
-__all__ = ["CSRSnapshot", "as_snapshot", "cached_snapshot", "merge_csr_delta"]
+__all__ = [
+    "CSRSnapshot",
+    "as_snapshot",
+    "cached_snapshot",
+    "merge_csr_delta",
+    "merge_event_window",
+]
 
 _MASK32 = np.int64(0xFFFFFFFF)
 
@@ -134,6 +141,52 @@ def cached_snapshot(graph) -> CSRSnapshot | None:
     if cache is not None and version is not None and cache[0] == version:
         return cache[1]
     return None
+
+
+def merge_event_window(base: CSRSnapshot, events, directed: bool = True) -> CSRSnapshot:
+    """Reduce an event-log window of :class:`~repro.eventlog.EdgeBatch`
+    events to net per-key ops and merge them into ``base``.
+
+    The caller (a cursor consumer — see :meth:`repro.api.Graph.snapshot`)
+    has already proven the window is a complete, purely edge-batched
+    history from ``base``'s version to the live one.  ``directed=False``
+    mirrors every batch before reduction, matching what the undirected
+    backend stored.  Replace semantics apply across the whole window: the
+    last operation per composite key wins.
+    """
+    srcs, dsts, ws, kinds = [], [], [], []
+    for event in events:
+        src, dst, weights = event.src, event.dst, event.weights
+        if not directed:
+            src, dst = (
+                np.concatenate([src, dst]),
+                np.concatenate([dst, src]),
+            )
+            if weights is not None:
+                weights = np.concatenate([weights, weights])
+        srcs.append(src)
+        dsts.append(dst)
+        ws.append(
+            weights if weights is not None else np.zeros(src.shape[0], dtype=np.int64)
+        )
+        kinds.append(np.full(src.shape[0], event.is_insert, dtype=bool))
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    w = np.concatenate(ws)
+    is_ins = np.concatenate(kinds)
+    comp = (src << np.int64(32)) | dst
+    get_counters().sorted_elements += int(comp.shape[0])
+    last = last_occurrence_mask(comp)
+    comp, w, is_ins = comp[last], w[last], is_ins[last]
+    order = np.argsort(comp)
+    comp, w, is_ins = comp[order], w[order], is_ins[order]
+    weighted = base.weights is not None
+    return merge_csr_delta(
+        base,
+        comp[is_ins],
+        w[is_ins] if weighted else None,
+        comp[~is_ins],
+    )
 
 
 def merge_csr_delta(

@@ -1,0 +1,138 @@
+"""Sharded-service artifact (``t12``): scaling the event-log router.
+
+The paper's structure saturates one device; the
+:class:`repro.api.ShardedGraph` router scales update throughput past it by
+hash-partitioning the vertex space across N independent per-shard
+structures.  This artifact prices that trade on an insert-heavy streaming
+workload under the device model:
+
+- **Ins MEdge/s** — aggregate modeled insert throughput with shards
+  executing independently (router overhead + slowest shard per batch);
+  **Speedup** is vs. the 1-shard service, whose router overhead is
+  included so the comparison is apples-to-apples;
+- **Query tax** — aggregate device *work* inflation a scatter-gather
+  point-query phase pays for the same answers vs. 1 shard (per-shard
+  dispatch constants fan out even though per-row work does not);
+- **Snap ms** — modeled cost of assembling the global sorted-CSR
+  snapshot from per-shard cached snapshots (the price analytics pay to
+  run unchanged on the sharded service);
+- **Cut%** — edges whose endpoints land on different shards under the
+  hash partition (owned by the source's shard).
+
+Throughput should scale ~linearly until the per-batch dispatch constants
+bite; the quick CI gate keeps the 4-shard speedup ≥ 2x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.sharding import ShardedGraph
+from repro.bench.results import ArtifactBuilder, ArtifactResult
+from repro.gpusim.counters import counting
+from repro.gpusim.model import simulated_seconds
+
+__all__ = ["shard_artifact"]
+
+#: Backends priced in the full sweep (registry defaults are all directed,
+#: which is what the router requires).
+SHARD_BACKENDS = ("slabhash", "hornet")
+
+#: Quick-mode subset.
+QUICK_SHARD_BACKENDS = ("slabhash",)
+
+#: Shard counts swept (1 is the router-overhead-included baseline).
+SHARD_COUNTS = (1, 2, 4, 8)
+QUICK_SHARD_COUNTS = (1, 2, 4)
+
+
+def _insert_workload(num_vertices: int, batch_rows: int, batches: int, seed: int):
+    """Seeded insert-heavy stream: ``batches`` batches of random edges."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(batches):
+        src = rng.integers(0, num_vertices, batch_rows, dtype=np.int64)
+        dst = rng.integers(0, num_vertices, batch_rows, dtype=np.int64)
+        out.append((src, dst))
+    return out
+
+
+def _query_workload(num_vertices: int, rows: int, batches: int, seed: int):
+    rng = np.random.default_rng(seed + 1)
+    out = []
+    for _ in range(batches):
+        src = rng.integers(0, num_vertices, rows, dtype=np.int64)
+        dst = rng.integers(0, num_vertices, rows, dtype=np.int64)
+        out.append((src, dst))
+    return out
+
+
+def shard_artifact(seed: int = 0, quick: bool = False) -> ArtifactResult:
+    """Price the sharded service: insert scaling, query tax, assembly."""
+    out = ArtifactBuilder(
+        "t12",
+        "Table XII — sharded service: modeled insert scaling and query tax",
+        [
+            "Backend",
+            "Shards",
+            "Cut%",
+            "Ins MEdge/s",
+            "Speedup",
+            "Query tax",
+            "Snap ms",
+        ],
+    )
+    if quick:
+        backends, shard_counts = QUICK_SHARD_BACKENDS, QUICK_SHARD_COUNTS
+        num_vertices, batch_rows, batches = 1 << 15, 1 << 14, 10
+        query_rows, query_batches = 1 << 12, 8
+    else:
+        backends, shard_counts = SHARD_BACKENDS, SHARD_COUNTS
+        num_vertices, batch_rows, batches = 1 << 17, 1 << 14, 24
+        query_rows, query_batches = 1 << 13, 16
+    inserts = _insert_workload(num_vertices, batch_rows, batches, seed)
+    queries = _query_workload(num_vertices, query_rows, query_batches, seed)
+    total_edges = batch_rows * batches
+    for name in backends:
+        base_insert_s = None
+        base_query_s = None
+        for shards in shard_counts:
+            service = ShardedGraph.create(name, num_vertices, num_shards=shards)
+            cut = float(
+                np.mean(
+                    [service.partitioner.cut_mask(src, dst).mean() for src, dst in inserts]
+                )
+            )
+            for src, dst in inserts:
+                service.insert_edges(src, dst)
+            insert_s = service.update_costs.parallel_seconds
+            for src, dst in queries:
+                service.edge_exists(src, dst)
+                service.degree(src)
+            query_work_s = service.query_costs.serial_seconds
+            with counting() as delta:
+                service.snapshot()
+            snap_ms = simulated_seconds(delta) * 1e3
+            if shards == 1:
+                base_insert_s = insert_s
+                base_query_s = query_work_s
+            throughput = total_edges / insert_s / 1e6
+            speedup = base_insert_s / insert_s
+            query_tax = query_work_s / base_query_s
+            out.add_row(
+                [
+                    name,
+                    shards,
+                    cut * 100.0,
+                    throughput,
+                    speedup,
+                    query_tax,
+                    snap_ms,
+                ]
+            )
+            key = (name, f"shards={shards}")
+            out.metric(throughput, "MEdge/s", *key, "insert", backend=name, items=total_edges)
+            out.metric(speedup, "x", *key, "insert_speedup", backend=name)
+            out.metric(query_tax, "x_work", *key, "query_tax", backend=name)
+            out.metric(snap_ms, "ms", *key, "snapshot_assembly", backend=name)
+    return out.build()

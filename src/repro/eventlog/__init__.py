@@ -1,0 +1,26 @@
+"""First-class graph event log: typed events, cursors, bounded retention.
+
+The :class:`repro.api.Graph` facade publishes every normalized edge batch
+and every structural change through an :class:`EventLog`; the snapshot
+delta-merge, the incremental analytics in :mod:`repro.stream`, and the
+shard router in :mod:`repro.api.sharding` are all cursor consumers of the
+same log.  See :mod:`repro.eventlog.log` for the full contract.
+"""
+
+from repro.eventlog.events import (
+    EdgeBatch,
+    Event,
+    StructuralEvent,
+    version_chain_intact,
+)
+from repro.eventlog.log import DEFAULT_RETENTION_ROWS, EventCursor, EventLog
+
+__all__ = [
+    "DEFAULT_RETENTION_ROWS",
+    "EdgeBatch",
+    "Event",
+    "EventCursor",
+    "EventLog",
+    "StructuralEvent",
+    "version_chain_intact",
+]

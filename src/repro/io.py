@@ -11,6 +11,10 @@ load those formats and to checkpoint dynamic graphs.  Three formats:
   ``src dst [weight]`` lines with ``#`` comments (SNAP style), 0-based;
 - :func:`save_npz` / :func:`load_npz` — lossless binary COO snapshots.
 
+Text paths ending in ``.gz`` are read and written through gzip
+transparently (both archives distribute datasets gzipped), so
+``read_edge_list("soc-a.txt.gz")`` works without a manual decompress.
+
 All readers return :class:`repro.coo.COO`; weights are stored as int64
 (real-valued MatrixMarket entries are rounded — this library's edge values
 are 32-bit words, Section II-A footnote 1).
@@ -18,6 +22,7 @@ are 32-bit words, Section II-A footnote 1).
 
 from __future__ import annotations
 
+import gzip
 from pathlib import Path
 
 import numpy as np
@@ -36,7 +41,12 @@ __all__ = [
 
 
 def _open_text(path_or_file, mode: str):
+    """Open a path as text, transparently decompressing/compressing
+    ``.gz`` files (SNAP and SuiteSparse both distribute gzipped dumps);
+    already-open file objects pass through unowned."""
     if isinstance(path_or_file, (str, Path)):
+        if str(path_or_file).endswith(".gz"):
+            return gzip.open(path_or_file, mode + "t"), True
         return open(path_or_file, mode), True
     return path_or_file, False
 

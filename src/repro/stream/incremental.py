@@ -1,23 +1,31 @@
-"""Delta-aware incremental analytics over the facade's edge deltas.
+"""Delta-aware incremental analytics: cursor consumers of the event log.
 
 A compute phase in a streaming workload does not need to recompute a
 whole-graph analytic from scratch when only a small batch of edges changed
-since the last phase.  The classes here subscribe to the
-:class:`repro.api.Graph` facade's per-batch delta stream
-(:meth:`~repro.api.Graph.subscribe_deltas`) and maintain their state
-incrementally:
+since the last phase.  The classes here hold an
+:class:`repro.eventlog.EventCursor` on a facade's event log
+(:attr:`repro.api.Graph.events` — the sharded facade in
+:mod:`repro.api.sharding` publishes the same log) and fold the pending
+events into their state at query time:
 
 - :class:`IncrementalConnectedComponents` — a union-find forest updated in
-  O(batch α) per insert-only batch; deletions, vertex operations, and
-  out-of-band backend mutations automatically fall back to a cold
-  re-label.  Labels are always exactly equal to
-  :func:`repro.analytics.connected_components` on the live snapshot.
+  O(batch α) per insert-only batch; deletions and structural events fall
+  back to a cold re-label automatically.  Labels are always exactly equal
+  to :func:`repro.analytics.connected_components` on the live snapshot.
 - :class:`IncrementalPageRank` — warm-start power iteration seeded from
   the previous phase's ranks.  The residual after a small delta is
   localized around the touched vertices and far below the O(1) residual
   of a uniform cold start, so the same ``tol`` is reached in far fewer
   sweeps; results match a cold :func:`repro.analytics.pagerank` within
   ``tol``.  An unchanged graph returns the cached ranks with zero sweeps.
+
+Staleness can never masquerade as freshness: a consumed window must be a
+complete history (no retention gap — the cursor detects events trimmed
+past the log's bounded retention) whose version chain connects the
+consumer's last sync to the live ``mutation_version``.  A mutation
+applied to the backend behind the facade's back breaks that chain and is
+answered with a cold recompute — one shared log-gap check instead of the
+per-consumer version bookkeeping each analytic used to reimplement.
 
 Both charge the device model for their incremental work (union-find
 traffic, warm sweeps), so the ``t11`` stream bench prices them against the
@@ -30,7 +38,7 @@ import numpy as np
 
 from repro.analytics.connected_components import connected_components
 from repro.analytics.pagerank import power_iteration
-from repro.api.facade import Graph
+from repro.eventlog import EdgeBatch, EventLog
 from repro.gpusim.counters import get_counters
 from repro.util.errors import ValidationError
 
@@ -38,92 +46,106 @@ __all__ = ["IncrementalAnalytic", "IncrementalConnectedComponents", "Incremental
 
 
 class IncrementalAnalytic:
-    """Base class wiring an analytic into a facade's delta stream.
+    """Base class wiring an analytic onto a facade's event log.
 
-    Subclasses implement ``on_edge_batch``; structural events
-    (vertex deletion, bulk build, rehash, tombstone flush) mark the state
-    stale, and ``_in_sync`` additionally detects mutations applied to the
-    backend behind the facade's back by comparing ``mutation_version``
-    against the version last folded in — staleness can therefore never
-    masquerade as freshness, mirroring the snapshot cache's contract.
+    Subclasses implement :meth:`_fold_event`, called once per pending
+    event in sequence order at query time.  The base class owns the
+    cursor, the gap/version-chain detection, and the stale flag; a
+    subclass marks itself stale from ``_fold_event`` when an event is not
+    incrementally absorbable (a delete for union-find, say) and the next
+    query rebuilds cold.
     """
 
-    def __init__(self, graph: Graph) -> None:
-        if not isinstance(graph, Graph):
+    def __init__(self, graph) -> None:
+        events = getattr(graph, "events", None)
+        if not isinstance(events, EventLog):
             raise ValidationError(
-                "incremental analytics subscribe to a repro.api.Graph facade, "
-                f"got {type(graph).__name__}"
+                "incremental analytics consume a facade event log "
+                "(repro.api.Graph or ShardedGraph), got "
+                f"{type(graph).__name__}"
             )
         self.graph = graph
+        self._cursor = events.cursor()
         self._stale = True
         self._synced_version = -1
-        #: How the last query was served: "incremental", "cold", or "cached".
+        #: How the last query was served: "incremental", "warm", "cold",
+        #: or "cached".
         self.last_mode: str | None = None
-        graph.subscribe_deltas(self)
 
     def close(self) -> None:
-        """Detach from the facade's delta stream."""
-        self.graph.unsubscribe_deltas(self)
+        """Detach from the event log (queries then always re-derive the
+        live answer via the version check)."""
+        self._cursor = None
 
-    # -- subscriber protocol -----------------------------------------------------
+    # -- event folding -----------------------------------------------------------
 
-    def on_edge_batch(self, is_insert: bool, src, dst, weights, before_version) -> None:
+    def _fold_event(self, event) -> None:
         raise NotImplementedError
 
-    def on_structural(self, reason: str) -> None:
-        self._stale = True
+    def _drain(self) -> None:
+        """Fold every pending event; a retention gap marks the state stale
+        (trimmed events are an unknowable history)."""
+        if self._cursor is None:
+            return
+        events, gapped = self._cursor.poll()
+        if gapped:
+            self._stale = True
+        for event in events:
+            self._fold_event(event)
 
     # -- plumbing ----------------------------------------------------------------
 
-    def _backend_version(self) -> int:
-        return int(getattr(self.graph.backend, "mutation_version", 0))
+    def _live_version(self) -> int:
+        version = getattr(self.graph, "mutation_version", None)
+        return -1 if version is None else int(version)
 
     def _in_sync(self) -> bool:
-        return not self._stale and self._synced_version == self._backend_version()
+        return not self._stale and self._synced_version == self._live_version()
 
 
 class IncrementalConnectedComponents(IncrementalAnalytic):
-    """Connected-component labels maintained from the delta stream.
+    """Connected-component labels maintained from the event log.
 
     Insert-only windows are folded into a union-find forest (union by
     minimum root, path halving) in O(batch α); each new edge is one union.
     Deletions can split components, so a delete batch — like any
-    structural event — marks the forest stale and the next
-    :meth:`labels` call re-labels cold from the live snapshot.  After the
-    cold pass the forest is rebuilt from the labels themselves (every
-    vertex points at its component's minimum id, which is a union-find
-    fixpoint), so streaming resumes incrementally.
+    structural event, retention gap, or version-chain break — marks the
+    forest stale and the next :meth:`labels` call re-labels cold from the
+    live snapshot.  After the cold pass the forest is rebuilt from the
+    labels themselves (every vertex points at its component's minimum id,
+    which is a union-find fixpoint), so streaming resumes incrementally.
 
     :meth:`labels` is always exactly equal to
     :func:`repro.analytics.connected_components` on the live snapshot.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph) -> None:
         super().__init__(graph)
         self._parent: np.ndarray | None = None
         self._relabel()
 
-    # -- subscriber protocol -----------------------------------------------------
+    # -- event folding -----------------------------------------------------------
 
-    def on_edge_batch(self, is_insert: bool, src, dst, weights, before_version) -> None:
-        if before_version != self._synced_version:
-            # Something mutated the backend between our last sync and this
-            # batch (out-of-band, or an event we missed) — folding the
-            # batch in anyway would mask it behind a fresh-looking
-            # version, so force the cold re-label instead.
-            self._stale = True
-            return
-        if not is_insert:
-            # A deletion may split a component; only a cold pass can tell.
-            self._stale = True
-            return
+    def _fold_event(self, event) -> None:
         if self._stale:
-            return  # the pending cold re-label will absorb this batch too
+            return  # the pending cold re-label will absorb this event too
+        if not isinstance(event, EdgeBatch) or not event.is_insert:
+            # Structural changes and deletions may split a component;
+            # only a cold pass can tell.
+            self._stale = True
+            return
+        if event.before_version != self._synced_version:
+            # The version chain does not connect our last sync to this
+            # batch — something mutated the backend out-of-band between
+            # them.  Folding the batch anyway would mask the missed
+            # change behind a fresh-looking version, so go cold.
+            self._stale = True
+            return
         parent = self._parent
         counters = get_counters()
-        counters.atomics += int(src.shape[0])
-        counters.bytes_copied += int(src.shape[0]) * 16
-        for a, b in zip(src.tolist(), dst.tolist()):
+        counters.atomics += int(event.src.shape[0])
+        counters.bytes_copied += int(event.src.shape[0]) * 16
+        for a, b in zip(event.src.tolist(), event.dst.tolist()):
             ra, rb = _find(parent, a), _find(parent, b)
             if ra == rb:
                 continue
@@ -133,12 +155,13 @@ class IncrementalConnectedComponents(IncrementalAnalytic):
                 parent[rb] = ra
             else:
                 parent[ra] = rb
-        self._synced_version = self._backend_version()
+        self._synced_version = event.after_version
 
     # -- queries ------------------------------------------------------------------
 
     def labels(self) -> np.ndarray:
         """Component label per vertex (= smallest id in the component)."""
+        self._drain()
         if not self._in_sync():
             self._relabel()
             self.last_mode = "cold"
@@ -167,7 +190,9 @@ class IncrementalConnectedComponents(IncrementalAnalytic):
         # themselves.
         self._parent = labels.copy()
         self._stale = False
-        self._synced_version = self._backend_version()
+        self._synced_version = self._live_version()
+        if self._cursor is not None:
+            self._cursor.poll()  # the snapshot absorbed everything pending
 
 
 def _find(parent: np.ndarray, x: int) -> int:
@@ -199,7 +224,7 @@ class IncrementalPageRank(IncrementalAnalytic):
 
     def __init__(
         self,
-        graph: Graph,
+        graph,
         damping: float = 0.85,
         tol: float = 1e-8,
         max_iters: int = 100,
@@ -215,28 +240,30 @@ class IncrementalPageRank(IncrementalAnalytic):
         #: Sweeps the last compute() needed (0 when served from cache).
         self.last_sweeps = 0
 
-    # -- subscriber protocol -----------------------------------------------------
+    # -- event folding -----------------------------------------------------------
 
-    def on_edge_batch(self, is_insert: bool, src, dst, weights, before_version) -> None:
-        if self._touched is not None:
-            self._touched[src] = True
-            self._touched[dst] = True
-
-    def on_structural(self, reason: str) -> None:
-        super().on_structural(reason)
-        # A structural event may have resized the vertex space (bulk
-        # build growth); the mask is re-allocated at the next compute.
-        self._touched = None
+    def _fold_event(self, event) -> None:
+        if isinstance(event, EdgeBatch):
+            if self._touched is not None:
+                self._touched[event.src] = True
+                self._touched[event.dst] = True
+        else:
+            self._stale = True
+            # A structural event may have resized the vertex space (bulk
+            # build growth); the mask is re-allocated at the next compute.
+            self._touched = None
 
     # -- queries ------------------------------------------------------------------
 
     @property
     def touched_count(self) -> int:
         """Distinct vertices touched by deltas since the last compute."""
+        self._drain()
         return int(self._touched.sum()) if self._touched is not None else 0
 
     def compute(self) -> np.ndarray:
         """Current PageRank scores (within ``tol`` of a cold computation)."""
+        self._drain()
         if self._ranks is not None and self._in_sync():
             self.last_mode, self.last_sweeps = "cached", 0
             return self._ranks.copy()
@@ -256,6 +283,8 @@ class IncrementalPageRank(IncrementalAnalytic):
         self._ranks = rank
         self._touched = np.zeros(n, dtype=bool)
         self._stale = False
-        self._synced_version = self._backend_version()
+        self._synced_version = self._live_version()
+        if self._cursor is not None:
+            self._cursor.poll()  # the snapshot absorbed everything pending
         self.last_sweeps = sweeps
         return rank.copy()

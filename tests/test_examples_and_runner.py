@@ -39,6 +39,13 @@ def test_streaming_incremental_example_runs(capsys):
     assert "speedup" in out
 
 
+def test_sharded_service_example_runs(capsys):
+    run_example("sharded_service.py")
+    out = capsys.readouterr().out
+    assert "sharded service verified exact against a single graph" in out
+    assert "modeled update speedup" in out
+
+
 @pytest.mark.slow
 def test_streaming_example_runs(capsys):
     run_example("streaming_social_network.py")

@@ -136,3 +136,49 @@ class TestNpz:
         assert sorted(zip(a.src.tolist(), a.dst.tolist(), a.weights.tolist())) == sorted(
             zip(b.src.tolist(), b.dst.tolist(), b.weights.tolist())
         )
+
+
+class TestGzip:
+    """``.gz`` paths are read and written through gzip transparently."""
+
+    def test_edge_list_roundtrip_gz(self, tmp_path, rng):
+        coo = COO(
+            rng.integers(0, 60, 150),
+            rng.integers(0, 60, 150),
+            60,
+            weights=rng.integers(0, 9, 150),
+        )
+        path = tmp_path / "edges.txt.gz"
+        write_edge_list(path, coo)
+        import gzip
+
+        with gzip.open(path, "rb") as fh:  # really compressed, not renamed
+            assert fh.read(1) == b"#"
+        back = read_edge_list(path, num_vertices=60)
+        assert pairs(back) == pairs(coo)
+        assert back.weights.tolist() == coo.weights.tolist()
+
+    def test_matrix_market_roundtrip_gz(self, tmp_path):
+        coo = COO([0, 1, 4], [2, 0, 3], num_vertices=5, weights=[7, 8, 9])
+        path = tmp_path / "g.mtx.gz"
+        write_matrix_market(path, coo, comment="gzipped")
+        back = read_matrix_market(path)
+        assert pairs(back) == pairs(coo)
+        assert back.weights.tolist() == [7, 8, 9]
+
+    def test_gz_reads_plain_gzip_file(self, tmp_path):
+        """A .gz written by something else (not our writer) also reads."""
+        import gzip
+
+        path = tmp_path / "snap.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("# comment\n0 1\n1 2 5\n")
+        back = read_edge_list(path)
+        assert pairs(back) == [(0, 1), (1, 2)]
+
+    def test_plain_paths_unaffected(self, tmp_path):
+        coo = COO([0], [1], num_vertices=2)
+        path = tmp_path / "plain.txt"
+        write_edge_list(path, coo)
+        assert path.read_text().startswith("#")  # not gzipped
+        assert pairs(read_edge_list(path)) == [(0, 1)]

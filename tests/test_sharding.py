@@ -1,0 +1,303 @@
+"""Tests for the sharded multi-graph service (Partitioner + ShardedGraph).
+
+The load-bearing contract: the same workload applied to a ShardedGraph
+and to a single Graph must produce **bit-identical** global snapshots —
+and therefore identical pagerank / connected-components / triangle-count
+results — across every registered backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import connected_components, pagerank
+from repro.analytics.triangle_count import triangle_count_csr
+from repro.api import Graph, Partitioner, ShardedGraph, backend_names, capabilities
+from repro.stream.incremental import IncrementalConnectedComponents, IncrementalPageRank
+from repro.util.errors import ValidationError
+
+ALL_BACKENDS = tuple(backend_names())
+
+
+def workload(rng, n, e):
+    return (
+        rng.integers(0, n, e, dtype=np.int64),
+        rng.integers(0, n, e, dtype=np.int64),
+        rng.integers(1, 50, e, dtype=np.int64),
+    )
+
+
+def apply_mixed(g, src, dst, w=None):
+    """A mixed stream: staged inserts, then a delete slice, then more."""
+    third = len(src) // 3
+    g.insert_edges(src[:third], dst[:third], None if w is None else w[:third])
+    mid = slice(third, 2 * third)
+    g.insert_edges(src[mid], dst[mid], None if w is None else w[mid])
+    g.delete_edges(src[: third // 2], dst[: third // 2])
+    g.insert_edges(src[2 * third :], dst[2 * third :], None if w is None else w[2 * third :])
+
+
+def assert_snapshots_identical(a, b):
+    assert np.array_equal(a.row_ptr, b.row_ptr)
+    assert np.array_equal(a.col_idx, b.col_idx)
+    if a.weights is None:
+        assert b.weights is None
+    else:
+        assert np.array_equal(a.weights, b.weights)
+
+
+class TestPartitioner:
+    def test_covers_all_shards_roughly_evenly(self):
+        p = Partitioner(4)
+        owners = p.shard_of(np.arange(100_000))
+        counts = np.bincount(owners, minlength=4)
+        assert counts.min() > 0.8 * counts.max()  # balanced on contiguous ids
+
+    def test_deterministic_and_in_range(self):
+        p = Partitioner(3)
+        ids = np.array([0, 1, 17, 2**31], dtype=np.int64)
+        a, b = p.shard_of(ids), p.shard_of(ids)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 3
+
+    def test_cut_mask(self):
+        p = Partitioner(2)
+        src = np.arange(1000)
+        dst = src.copy()
+        assert not p.cut_mask(src, dst).any()  # self-pairs are never cut
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValidationError):
+            Partitioner(0)
+
+
+class TestShardedExactness:
+    """ShardedGraph == single Graph, bit for bit, on every backend."""
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_snapshot_and_analytics_match_single_graph(self, name, rng):
+        n, e = 200, 1200
+        weighted = capabilities(name).weighted
+        src, dst, w = workload(rng, n, e)
+        w = w if weighted else None
+        single = Graph.create(name, num_vertices=n, weighted=weighted)
+        sharded = ShardedGraph.create(name, n, num_shards=3, weighted=weighted)
+        apply_mixed(single, src, dst, w)
+        apply_mixed(sharded, src, dst, w)
+        assert sharded.num_edges() == single.num_edges()
+        s1, s2 = single.snapshot(), sharded.snapshot()
+        assert_snapshots_identical(s1, s2)
+        assert np.array_equal(connected_components(s1), connected_components(s2))
+        assert np.allclose(pagerank(single), pagerank(sharded))
+        assert triangle_count_csr(s1) == triangle_count_csr(s2)
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_point_queries_match_single_graph(self, name, rng):
+        n, e = 150, 900
+        src, dst, _ = workload(rng, n, e)
+        single = Graph.create(name, num_vertices=n)
+        sharded = ShardedGraph.create(name, n, num_shards=4)
+        single.insert_edges(src, dst)
+        sharded.insert_edges(src, dst)
+        q_src, q_dst, _ = workload(rng, n, 300)
+        assert np.array_equal(
+            single.edge_exists(q_src, q_dst), sharded.edge_exists(q_src, q_dst)
+        )
+        assert np.array_equal(single.degree(q_src), sharded.degree(q_src))
+        p1, d1, _ = single.adjacencies(q_src[:20])
+        p2, d2, _ = sharded.adjacencies(q_src[:20])
+        assert np.array_equal(p1, p2)
+        # neighbor order within a vertex is backend-native on both sides
+        for v in np.unique(q_src[:20]):
+            assert np.array_equal(
+                np.sort(single.neighbors(int(v))[0]),
+                np.sort(sharded.neighbors(int(v))[0]),
+            )
+
+    def test_edge_weights_match(self, rng):
+        n = 100
+        src, dst, w = workload(rng, n, 500)
+        single = Graph.create("slabhash", num_vertices=n, weighted=True)
+        sharded = ShardedGraph.create("slabhash", n, num_shards=3, weighted=True)
+        single.insert_edges(src, dst, w)
+        sharded.insert_edges(src, dst, w)
+        q_src, q_dst, _ = workload(rng, n, 200)
+        e1, w1 = single.edge_weights(q_src, q_dst)
+        e2, w2 = sharded.edge_weights(q_src, q_dst)
+        assert np.array_equal(e1, e2)
+        assert np.array_equal(w1[e1], w2[e2])
+
+    def test_bulk_build_splits_by_owner(self, rng):
+        from repro.coo import COO
+
+        n = 120
+        src, dst, w = workload(rng, n, 800)
+        coo = COO(src, dst, n, weights=w)
+        single = Graph.create("hornet", num_vertices=n, weighted=True)
+        sharded = ShardedGraph.create("hornet", n, num_shards=4, weighted=True)
+        single.bulk_build(coo)
+        sharded.bulk_build(coo)
+        assert_snapshots_identical(single.snapshot(), sharded.snapshot())
+
+    def test_delete_vertices_fans_out_to_all_shards(self, rng):
+        n = 80
+        src, dst, _ = workload(rng, n, 600)
+        single = Graph.create("slabhash", num_vertices=n)
+        sharded = ShardedGraph.create("slabhash", n, num_shards=3)
+        single.insert_edges(src, dst)
+        sharded.insert_edges(src, dst)
+        victims = [3, 17, 42]
+        single.delete_vertices(victims)
+        sharded.delete_vertices(victims)
+        # post-state is the contract (return counts differ: a vertex can
+        # deactivate once per shard)
+        assert_snapshots_identical(single.snapshot(), sharded.snapshot())
+        assert sharded.degree(victims).tolist() == [0, 0, 0]
+
+    def test_export_coo_matches(self, rng):
+        n = 90
+        src, dst, _ = workload(rng, n, 400)
+        single = Graph.create("slabhash", num_vertices=n)
+        sharded = ShardedGraph.create("slabhash", n, num_shards=2)
+        single.insert_edges(src, dst)
+        sharded.insert_edges(src, dst)
+        a, b = single.export_coo(), sharded.export_coo()
+        assert sorted(zip(a.src.tolist(), a.dst.tolist())) == sorted(
+            zip(b.src.tolist(), b.dst.tolist())
+        )
+
+
+class TestShardedService:
+    def test_snapshot_cache_serves_identity_when_unchanged(self):
+        sg = ShardedGraph.create("slabhash", 64, num_shards=2)
+        sg.insert_edges([0, 1], [1, 2])
+        assert sg.snapshot() is sg.snapshot()
+        sg.insert_edges([2], [3])
+        assert sg.snapshot().num_edges == 3
+
+    def test_mutation_version_is_monotone_aggregate(self):
+        sg = ShardedGraph.create("slabhash", 64, num_shards=3)
+        v0 = sg.mutation_version
+        sg.insert_edges([0, 1, 2], [1, 2, 3])
+        v1 = sg.mutation_version
+        assert v1 > v0
+        sg.delete_edges([0], [1])
+        assert sg.mutation_version > v1
+
+    def test_events_published_with_aggregate_versions(self):
+        sg = ShardedGraph.create("slabhash", 64, num_shards=2)
+        cur = sg.events.cursor()
+        sg.insert_edges([0, 1, 5], [1, 2, 6])
+        sg.delete_vertices([5])
+        events, gapped = cur.poll()
+        assert not gapped and len(events) == 2
+        assert events[0].rows == 3
+        assert events[0].after_version == events[1].before_version
+        assert events[1].after_version == sg.mutation_version
+
+    def test_incremental_analytics_attach_to_sharded_service(self, rng):
+        n = 100
+        sg = ShardedGraph.create("slabhash", n, num_shards=3)
+        ref = Graph.create("slabhash", num_vertices=n)
+        cc = IncrementalConnectedComponents(sg)
+        pr = IncrementalPageRank(sg, tol=1e-8)
+        for _ in range(4):
+            src, dst, _ = workload(rng, n, 50)
+            sg.insert_edges(src, dst)
+            ref.insert_edges(src, dst)
+            assert np.array_equal(cc.labels(), connected_components(ref.snapshot()))
+            assert np.allclose(pr.compute(), pagerank(ref), atol=1e-6)
+        assert cc.last_mode == "incremental"
+        assert pr.last_mode in ("warm", "cached")
+
+    def test_update_costs_model_parallel_speedup(self, rng):
+        """The modeled parallel time of a balanced batch beats the serial
+        aggregate — the scaling story t12 prices."""
+        sg = ShardedGraph.create("slabhash", 1 << 12, num_shards=4)
+        src, dst, _ = workload(rng, 1 << 12, 1 << 13)
+        sg.insert_edges(src, dst)
+        assert sg.update_costs.calls == 1
+        assert sg.update_costs.parallel_seconds < 0.5 * sg.update_costs.serial_seconds
+        assert len([s for s in sg.update_costs.per_shard_seconds if s > 0]) == 4
+
+    def test_normalization_happens_once_globally(self):
+        """Router-level dedup dedups across shard boundaries."""
+        sg = ShardedGraph.create("slabhash", 64, num_shards=4, dedup_batches=True)
+        added = sg.insert_edges([1, 1, 2, 2], [2, 2, 3, 3])
+        assert added == 2
+        assert sg.num_edges() == 2
+
+    def test_self_loop_policy_enforced_at_router(self):
+        sg = ShardedGraph.create("slabhash", 16, num_shards=2, self_loops="error")
+        with pytest.raises(ValidationError):
+            sg.insert_edges([3], [3])
+
+
+class TestShardedValidation:
+    def test_rejects_undirected_shards(self):
+        g = Graph.create("slabhash", num_vertices=8, directed=False)
+        with pytest.raises(ValidationError, match="directed"):
+            ShardedGraph([g])
+
+    def test_rejects_populated_shards(self):
+        g = Graph.create("slabhash", num_vertices=8)
+        g.insert_edges([0], [1])
+        with pytest.raises(ValidationError, match="empty"):
+            ShardedGraph([g])
+
+    def test_rejects_mismatched_vertex_spaces(self):
+        a = Graph.create("slabhash", num_vertices=8)
+        b = Graph.create("slabhash", num_vertices=16)
+        with pytest.raises(ValidationError, match="vertex-id space"):
+            ShardedGraph([a, b])
+
+    def test_rejects_partitioner_shard_count_mismatch(self):
+        shards = [Graph.create("slabhash", num_vertices=8) for _ in range(2)]
+        with pytest.raises(ValidationError, match="partitioner"):
+            ShardedGraph(shards, Partitioner(3))
+
+    def test_rejects_raw_backends_and_empty_lists(self):
+        from repro.api import create
+
+        with pytest.raises(ValidationError):
+            ShardedGraph([create("slabhash", num_vertices=8)])
+        with pytest.raises(ValidationError):
+            ShardedGraph([])
+
+    def test_out_of_range_queries_rejected(self):
+        sg = ShardedGraph.create("slabhash", 16, num_shards=2)
+        with pytest.raises(ValidationError):
+            sg.degree([99])
+        with pytest.raises(ValidationError):
+            sg.edge_exists([0], [99])
+
+
+def test_committed_quick_baseline_gates_shard_speedup():
+    """The t12 quick gate: ≥ 2x modeled insert throughput at 4 shards."""
+    import json
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "benchmarks/baselines/BENCH_baseline_quick.json"
+    doc = json.loads(path.read_text())
+    metrics = {r["metric"]: r["value"] for a in doc["artifacts"] for r in a.get("results", [])}
+    gate = [
+        k
+        for k in metrics
+        if k.startswith("t12/") and "/shards=4/" in k and k.endswith("/insert_speedup")
+    ]
+    assert gate, "t12 4-shard insert_speedup metrics missing from the quick baseline"
+    for key in gate:
+        assert metrics[key] >= 2.0, (key, metrics[key])
+
+
+def test_shard_artifact_quick_structure():
+    from repro.bench.shard_bench import shard_artifact
+
+    art = shard_artifact(seed=0, quick=True)
+    keys = {r.metric for r in art.results}
+    assert "t12/slabhash/shards=1/insert" in keys
+    assert "t12/slabhash/shards=4/insert_speedup" in keys
+    assert "t12/slabhash/shards=4/query_tax" in keys
+    assert "t12/slabhash/shards=4/snapshot_assembly" in keys
+    by_key = {r.metric: r.value for r in art.results}
+    assert by_key["t12/slabhash/shards=1/insert_speedup"] == 1.0
+    assert by_key["t12/slabhash/shards=4/insert_speedup"] >= 2.0

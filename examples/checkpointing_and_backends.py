@@ -8,6 +8,11 @@ and finally loaded into the B-tree backend (the paper's Section VII
 future-work design) to answer the one query hash tables cannot serve:
 "which of this hub's neighbors have ids in a given range?" (range queries
 over sorted adjacency).
+
+The snapshots written here are one-shot interchange files.  For a
+continuously mutating graph that must survive crashes — write-ahead
+logging, checkpoint rotation, tail replay, read replicas — see
+:mod:`repro.persist` and ``examples/durable_service.py``.
 """
 
 import tempfile

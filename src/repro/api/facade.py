@@ -312,7 +312,9 @@ class Graph:
         check_in_range(vids, 0, self.num_vertices, "vertex_ids")
         before = self.mutation_version
         removed = int(self.backend.delete_vertices(vids))
-        self._publish_structural("delete_vertices", before)
+        # The payload (a copy — the event outlives the caller's buffer)
+        # lets replay consumers (the WAL, read replicas) re-apply this.
+        self._publish_structural("delete_vertices", before, payload=vids.copy())
         return removed
 
     def bulk_build(self, coo: COO) -> int:
@@ -329,8 +331,25 @@ class Graph:
             coo = COO(coo.src, coo.dst, coo.num_vertices, weights=None)
         before = self.mutation_version
         built = int(self.backend.bulk_build(coo))
-        self._publish_structural("bulk_build", before)
+        self._publish_structural(
+            "bulk_build",
+            before,
+            payload=COO(
+                coo.src.copy(),
+                coo.dst.copy(),
+                coo.num_vertices,
+                weights=None if coo.weights is None else coo.weights.copy(),
+            ),
+        )
         return built
+
+    def restore_snapshot(self, snap: CSRSnapshot) -> int:
+        """Load a checkpointed :class:`CSRSnapshot` into this (empty)
+        graph — the restore half of the durability layer in
+        :mod:`repro.persist`.  Equivalent to ``bulk_build(snap.to_coo())``;
+        a later :meth:`snapshot` is bit-identical to ``snap``.
+        """
+        return self.bulk_build(snap.to_coo())
 
     # -- queries --------------------------------------------------------------------
 
@@ -450,9 +469,12 @@ class Graph:
             rows=rows,
         )
 
-    def _publish_structural(self, reason: str, before_version) -> None:
+    def _publish_structural(self, reason: str, before_version, payload=None) -> None:
         self.events.publish_structural(
-            reason, before_version=before_version, after_version=self.mutation_version
+            reason,
+            before_version=before_version,
+            after_version=self.mutation_version,
+            payload=payload,
         )
         # A backend snapshot cache that is now stale can no longer serve
         # either a hit or a merge base, so release its O(E) arrays rather

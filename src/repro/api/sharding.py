@@ -399,7 +399,10 @@ class ShardedGraph:
             shard_times.append((s, simulated_seconds(delta)))
         self.update_costs.record(router, shard_times)
         self.events.publish_structural(
-            "delete_vertices", before_version=before, after_version=self.mutation_version
+            "delete_vertices",
+            before_version=before,
+            after_version=self.mutation_version,
+            payload=vids.copy(),
         )
         return removed
 
@@ -426,7 +429,15 @@ class ShardedGraph:
             shard_times.append((s, simulated_seconds(delta)))
         self.update_costs.record(router, shard_times)
         self.events.publish_structural(
-            "bulk_build", before_version=before, after_version=self.mutation_version
+            "bulk_build",
+            before_version=before,
+            after_version=self.mutation_version,
+            payload=COO(
+                coo.src.copy(),
+                coo.dst.copy(),
+                coo.num_vertices,
+                weights=None if coo.weights is None else coo.weights.copy(),
+            ),
         )
         return built
 

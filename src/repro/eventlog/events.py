@@ -62,9 +62,18 @@ class EdgeBatch(Event):
 
 @dataclass(frozen=True)
 class StructuralEvent(Event):
-    """A mutation with no edge-delta representation (see ``reason``)."""
+    """A mutation with no edge-delta representation (see ``reason``).
+
+    ``payload`` carries whatever is needed to *re-apply* the mutation on a
+    replay consumer (the write-ahead log in :mod:`repro.persist`, a read
+    replica): the deleted vertex-id array for ``"delete_vertices"``, the
+    built :class:`repro.coo.COO` for ``"bulk_build"``.  Maintenance events
+    (``"rehash"``, ``"flush_tombstones"``) carry ``None`` — they do not
+    change the logical edge set, so replayers skip them.
+    """
 
     reason: str
+    payload: object | None = None
 
 
 def version_chain_intact(events, base_version, live_version) -> bool:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.eventlog.events import EdgeBatch, Event, StructuralEvent
+from repro.util.errors import ValidationError
 
 __all__ = ["EventLog", "EventCursor", "DEFAULT_RETENTION_ROWS"]
 
@@ -106,14 +107,20 @@ class EventLog:
         return event
 
     def publish_structural(
-        self, reason: str, *, before_version, after_version
+        self, reason: str, *, before_version, after_version, payload=None
     ) -> StructuralEvent:
-        """Append one structural event (costs zero retention rows)."""
+        """Append one structural event (costs zero retention rows).
+
+        ``payload`` is the replay-enabling detail (see
+        :class:`~repro.eventlog.events.StructuralEvent`); publishers should
+        pass copies, since the event may outlive the caller's buffers.
+        """
         event = StructuralEvent(
             seq=self._next_seq,
             before_version=before_version,
             after_version=after_version,
             reason=str(reason),
+            payload=payload,
         )
         self._append(event, 0)
         return event
@@ -135,8 +142,16 @@ class EventLog:
 
     def cursor(self, seq: int | None = None) -> "EventCursor":
         """A new reader positioned at ``seq`` (default: the tail, so it
-        observes only events published after its creation)."""
-        return EventCursor(self, self._next_seq if seq is None else int(seq))
+        observes only events published after its creation).
+
+        ``seq`` must refer to a position the log has actually reached:
+        negative values and values beyond :attr:`next_seq` raise
+        :class:`ValidationError` instead of silently clamping — a caller
+        holding such a seq has confused logs (or positions from a
+        different log), and a clamped read would mask that as an empty or
+        complete history.
+        """
+        return EventCursor(self, self._next_seq if seq is None else self._check_seq(seq))
 
     def events_since(self, seq: int) -> tuple[list, bool]:
         """``(events, gapped)`` for everything at or after ``seq``.
@@ -144,13 +159,25 @@ class EventLog:
         ``gapped`` is True when retention already trimmed events the
         reader never saw (``seq < horizon``) — the returned (possibly
         empty) suffix is then an incomplete history and the reader must
-        rebuild cold.
+        rebuild cold.  Like :meth:`cursor`, a negative ``seq`` or one
+        beyond :attr:`next_seq` raises :class:`ValidationError`.
         """
+        seq = self._check_seq(seq)
         gapped = seq < self._horizon
         start = max(seq, self._horizon)
         skip = start - self._horizon
         events = [e for i, e in enumerate(self._events) if i >= skip]
         return events, gapped
+
+    def _check_seq(self, seq) -> int:
+        seq = int(seq)
+        if seq < 0 or seq > self._next_seq:
+            raise ValidationError(
+                f"seq {seq} is outside this log's published range "
+                f"[0, {self._next_seq}] — cursors and reads must reference "
+                "a position the log has actually reached"
+            )
+        return seq
 
     # -- push subscribers --------------------------------------------------------
 

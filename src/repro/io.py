@@ -23,6 +23,8 @@ are 32-bit words, Section II-A footnote 1).
 from __future__ import annotations
 
 import gzip
+import os
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -31,6 +33,7 @@ from repro.coo import COO
 from repro.util.errors import ValidationError
 
 __all__ = [
+    "atomic_write",
     "read_matrix_market",
     "write_matrix_market",
     "read_edge_list",
@@ -38,6 +41,38 @@ __all__ = [
     "save_npz",
     "load_npz",
 ]
+
+
+@contextmanager
+def atomic_write(path, mode: str = "wb", *, fsync: bool = True):
+    """Write ``path`` atomically: a sibling tmp file + ``os.replace``.
+
+    The file handle yielded writes to ``<path>.tmp.<pid>``; only after the
+    body completes is the tmp file (optionally fsynced and) renamed over
+    the destination, so readers never observe a truncated file — an
+    interrupted writer leaves the previous version intact.  On any
+    exception the tmp file is removed and the destination untouched.
+    ``.gz`` paths are gzip-compressed transparently in text modes (same
+    convention as the readers below).
+    """
+    path = str(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    if path.endswith(".gz") and "b" not in mode:
+        fh = gzip.open(tmp, mode + "t")
+    else:
+        fh = open(tmp, mode)
+    try:
+        yield fh
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    except BaseException:
+        fh.close()
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    fh.close()
+    os.replace(tmp, path)
 
 
 def _open_text(path_or_file, mode: str):
@@ -49,6 +84,18 @@ def _open_text(path_or_file, mode: str):
             return gzip.open(path_or_file, mode + "t"), True
         return open(path_or_file, mode), True
     return path_or_file, False
+
+
+@contextmanager
+def _text_sink(path_or_file):
+    """Yield a writable text handle: paths write through
+    :func:`atomic_write` (readers never see a truncated file), already-open
+    file objects pass through unowned."""
+    if isinstance(path_or_file, (str, Path)):
+        with atomic_write(path_or_file, "w") as fh:
+            yield fh
+    else:
+        yield path_or_file
 
 
 # ---------------------------------------------------------------------------
@@ -111,10 +158,10 @@ def read_matrix_market(path_or_file) -> COO:
 
 
 def write_matrix_market(path_or_file, coo: COO, comment: str | None = None) -> None:
-    """Write a COO as a ``general`` MatrixMarket coordinate file."""
+    """Write a COO as a ``general`` MatrixMarket coordinate file
+    (atomically when given a path — see :func:`atomic_write`)."""
     field = "pattern" if coo.weights is None else "integer"
-    fh, owned = _open_text(path_or_file, "w")
-    try:
+    with _text_sink(path_or_file) as fh:
         fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
         if comment:
             for line in comment.splitlines():
@@ -126,9 +173,6 @@ def write_matrix_market(path_or_file, coo: COO, comment: str | None = None) -> N
         else:
             for s, d, w in zip(coo.src.tolist(), coo.dst.tolist(), coo.weights.tolist()):
                 fh.write(f"{s + 1} {d + 1} {w}\n")
-    finally:
-        if owned:
-            fh.close()
 
 
 # ---------------------------------------------------------------------------
@@ -165,9 +209,9 @@ def read_edge_list(path_or_file, num_vertices: int | None = None) -> COO:
 
 
 def write_edge_list(path_or_file, coo: COO, header: bool = True) -> None:
-    """Write a COO as a SNAP-style edge list."""
-    fh, owned = _open_text(path_or_file, "w")
-    try:
+    """Write a COO as a SNAP-style edge list (atomically when given a
+    path — see :func:`atomic_write`)."""
+    with _text_sink(path_or_file) as fh:
         if header:
             fh.write(f"# vertices: {coo.num_vertices} edges: {coo.num_edges}\n")
         if coo.weights is None:
@@ -176,9 +220,6 @@ def write_edge_list(path_or_file, coo: COO, header: bool = True) -> None:
         else:
             for s, d, w in zip(coo.src.tolist(), coo.dst.tolist(), coo.weights.tolist()):
                 fh.write(f"{s}\t{d}\t{w}\n")
-    finally:
-        if owned:
-            fh.close()
 
 
 # ---------------------------------------------------------------------------
@@ -187,11 +228,20 @@ def write_edge_list(path_or_file, coo: COO, header: bool = True) -> None:
 
 
 def save_npz(path, coo: COO) -> None:
-    """Lossless binary COO snapshot (``numpy.savez_compressed``)."""
+    """Lossless binary COO snapshot (``numpy.savez_compressed``).
+
+    Written atomically: ``savez`` streams into a tmp file that is renamed
+    over ``path`` only once complete, so an interrupted save can never
+    leave a truncated archive behind.
+    """
     payload = {"src": coo.src, "dst": coo.dst, "num_vertices": np.int64(coo.num_vertices)}
     if coo.weights is not None:
         payload["weights"] = coo.weights
-    np.savez_compressed(path, **payload)
+    path = str(path)
+    if not path.endswith(".npz"):
+        path += ".npz"  # savez appends it; replace must target the real name
+    with atomic_write(path, "wb") as fh:
+        np.savez_compressed(fh, **payload)
 
 
 def load_npz(path) -> COO:

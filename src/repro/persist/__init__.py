@@ -1,0 +1,63 @@
+"""Durable graphs: write-ahead log + checkpointed snapshots + recovery.
+
+The in-memory :class:`repro.eventlog.EventLog` already gives every graph
+a complete, versioned mutation history; this package makes that history
+survive the process.  Three layers:
+
+- :mod:`repro.persist.wal` — segmented append-only log of framed
+  (length- and CRC32-checked) event records, with a
+  :class:`~repro.persist.wal.WalWriter` that subscribes to
+  ``graph.events`` and a :class:`~repro.persist.wal.LogFollower` that
+  tails another process's log;
+- :mod:`repro.persist.checkpoint` — atomic ``CSRSnapshot`` checkpoints
+  (NPZ + JSON manifest commit point) that bound replay length;
+- :mod:`repro.persist.store` — :func:`~repro.persist.store.open_graph`,
+  which recovers a :class:`~repro.persist.store.DurableGraph` as
+  latest-valid-checkpoint + WAL-tail replay and keeps it durable.
+
+See ``examples/durable_service.py`` for the checkpoint → crash →
+recover → replica-tail round trip, and the README's "Durability and
+recovery" section for the design rationale.
+"""
+
+from repro.persist.checkpoint import (
+    CheckpointManifest,
+    checkpoint_manifests,
+    env_fingerprint,
+    latest_valid_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.persist.store import DurableGraph, apply_event, open_graph
+from repro.persist.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    FSYNC_POLICIES,
+    LogFollower,
+    WalScan,
+    WalWriter,
+    encode_record,
+    list_segments,
+    repair_wal,
+    scan_wal,
+)
+
+__all__ = [
+    "CheckpointManifest",
+    "DEFAULT_SEGMENT_BYTES",
+    "DurableGraph",
+    "FSYNC_POLICIES",
+    "LogFollower",
+    "WalScan",
+    "WalWriter",
+    "apply_event",
+    "checkpoint_manifests",
+    "encode_record",
+    "env_fingerprint",
+    "latest_valid_checkpoint",
+    "list_segments",
+    "load_checkpoint",
+    "open_graph",
+    "repair_wal",
+    "scan_wal",
+    "write_checkpoint",
+]

@@ -1,0 +1,219 @@
+"""Atomic graph checkpoints: an NPZ snapshot + a JSON manifest.
+
+A checkpoint materializes one :class:`repro.api.CSRSnapshot` so recovery
+can start from it instead of replaying the whole WAL.  Two files per
+checkpoint, both written atomically (tmp file + rename, see
+:func:`repro.io.atomic_write`):
+
+- ``ckpt-<seq, 20 digits>.npz`` — the snapshot arrays (``numpy.savez``);
+- ``ckpt-<seq, 20 digits>.json`` — the manifest: the WAL seq the
+  snapshot covers (recovery replays records at or after it), the
+  publisher's ``mutation_version`` as provenance, the backend identity,
+  edge/vertex counts, a CRC32 of the NPZ bytes, and an environment
+  fingerprint.
+
+The manifest is written *after* the NPZ and is the commit point: a crash
+between the two leaves an orphaned NPZ that no manifest references, and
+recovery never sees it.  :func:`latest_valid_checkpoint` walks manifests
+newest-first and skips any that fail to load — missing or truncated NPZ,
+CRC mismatch, unparseable JSON — so deleting or corrupting the newest
+checkpoint merely falls back to the previous one (plus a longer WAL
+replay).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import zlib
+from dataclasses import dataclass
+from io import BytesIO
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.snapshot import CSRSnapshot
+from repro.io import atomic_write
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "CheckpointManifest",
+    "write_checkpoint",
+    "load_checkpoint",
+    "latest_valid_checkpoint",
+    "checkpoint_manifests",
+    "env_fingerprint",
+]
+
+MANIFEST_KIND = "repro-graph-checkpoint"
+SCHEMA_VERSION = 1
+_PREFIX = "ckpt-"
+
+
+def env_fingerprint() -> dict:
+    """The environment identity stamped into manifests and store files."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """Parsed manifest of one checkpoint (see module docstring)."""
+
+    path: Path
+    seq: int
+    mutation_version: int | None
+    backend: str
+    weighted: bool
+    num_vertices: int
+    num_edges: int
+    npz: str
+    crc32: int
+    environment: dict
+
+    @property
+    def npz_path(self) -> Path:
+        return self.path.with_name(self.npz)
+
+
+def checkpoint_manifests(directory) -> list:
+    """Manifest paths in a checkpoint directory, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        p for p in directory.iterdir() if p.name.startswith(_PREFIX) and p.name.endswith(".json")
+    )
+
+
+def write_checkpoint(
+    directory,
+    snap: CSRSnapshot,
+    *,
+    seq: int,
+    backend: str,
+    weighted: bool,
+    mutation_version: int | None = None,
+) -> CheckpointManifest:
+    """Persist ``snap`` as the checkpoint covering WAL seqs below ``seq``.
+
+    The NPZ is serialized in memory first so its CRC32 covers exactly the
+    bytes on disk; the manifest rename is the commit point.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"{_PREFIX}{int(seq):020d}"
+    payload = {
+        "row_ptr": snap.row_ptr,
+        "col_idx": snap.col_idx,
+        "num_vertices": np.int64(snap.num_vertices),
+    }
+    if snap.weights is not None:
+        payload["weights"] = snap.weights
+    buf = BytesIO()
+    np.savez(buf, **payload)
+    blob = buf.getvalue()
+    with atomic_write(directory / f"{stem}.npz", "wb") as fh:
+        fh.write(blob)
+    manifest = {
+        "kind": MANIFEST_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "seq": int(seq),
+        "mutation_version": None if mutation_version is None else int(mutation_version),
+        "backend": str(backend),
+        "weighted": bool(weighted),
+        "num_vertices": int(snap.num_vertices),
+        "num_edges": int(snap.num_edges),
+        "npz": f"{stem}.npz",
+        "crc32": zlib.crc32(blob),
+        "environment": env_fingerprint(),
+    }
+    path = directory / f"{stem}.json"
+    with atomic_write(path, "w") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.write("\n")
+    return CheckpointManifest(path=path, **{k: manifest[k] for k in _MANIFEST_FIELDS})
+
+
+_MANIFEST_FIELDS = (
+    "seq",
+    "mutation_version",
+    "backend",
+    "weighted",
+    "num_vertices",
+    "num_edges",
+    "npz",
+    "crc32",
+    "environment",
+)
+
+
+def load_checkpoint(manifest_path) -> tuple:
+    """``(CSRSnapshot, CheckpointManifest)`` for one manifest, verifying
+    the NPZ's CRC32.  Raises :class:`ValidationError` on any integrity
+    failure (callers treat that checkpoint as nonexistent)."""
+    manifest_path = Path(manifest_path)
+    try:
+        data = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"unreadable checkpoint manifest {manifest_path.name}: {exc}")
+    if not isinstance(data, dict) or data.get("kind") != MANIFEST_KIND:
+        raise ValidationError(f"{manifest_path.name} is not a checkpoint manifest")
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise ValidationError(
+            f"{manifest_path.name} has schema {data.get('schema_version')}, "
+            f"this reader supports {SCHEMA_VERSION}"
+        )
+    missing = [k for k in _MANIFEST_FIELDS if k not in data]
+    if missing:
+        raise ValidationError(f"{manifest_path.name} is missing fields {missing}")
+    manifest = CheckpointManifest(
+        path=manifest_path, **{k: data[k] for k in _MANIFEST_FIELDS}
+    )
+    try:
+        blob = manifest.npz_path.read_bytes()
+    except OSError as exc:
+        raise ValidationError(f"checkpoint data {manifest.npz} unreadable: {exc}")
+    if zlib.crc32(blob) != manifest.crc32:
+        raise ValidationError(
+            f"checkpoint data {manifest.npz} fails its CRC32 — corrupt or truncated"
+        )
+    try:
+        with np.load(BytesIO(blob)) as arrays:
+            snap = CSRSnapshot(
+                row_ptr=arrays["row_ptr"],
+                col_idx=arrays["col_idx"],
+                weights=arrays["weights"] if "weights" in arrays else None,
+                num_vertices=int(arrays["num_vertices"]),
+            )
+    except (OSError, ValueError, KeyError) as exc:
+        raise ValidationError(f"checkpoint data {manifest.npz} undecodable: {exc}")
+    if snap.num_edges != manifest.num_edges:
+        raise ValidationError(
+            f"checkpoint {manifest.npz} holds {snap.num_edges} edges, "
+            f"manifest claims {manifest.num_edges}"
+        )
+    return snap, manifest
+
+
+def latest_valid_checkpoint(directory, *, min_seq: int = 0):
+    """The newest loadable checkpoint with ``seq >= min_seq``, as
+    ``(CSRSnapshot, CheckpointManifest)``; None when no checkpoint
+    qualifies.  Invalid checkpoints (corrupt, truncated, deleted NPZ) are
+    skipped, not fatal — recovery falls back to an older one.
+
+    ``min_seq`` is the WAL's oldest on-disk seq: a checkpoint older than
+    that could not have its tail replayed, so it cannot anchor recovery.
+    """
+    for manifest_path in reversed(checkpoint_manifests(directory)):
+        try:
+            snap, manifest = load_checkpoint(manifest_path)
+        except ValidationError:
+            continue
+        if manifest.seq < min_seq:
+            continue
+        return snap, manifest
+    return None

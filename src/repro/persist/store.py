@@ -1,0 +1,376 @@
+"""The durable store: a :class:`repro.api.Graph` that survives crashes.
+
+:func:`open_graph` ties the pieces together under one directory::
+
+    store/
+      store.json         # graph identity (backend, |V|, weighted, policies)
+      wal/seg-*.wal      # the write-ahead event log (repro.persist.wal)
+      checkpoints/       # atomic snapshots (repro.persist.checkpoint)
+
+Opening recovers: load the latest valid checkpoint into a fresh backend
+(:meth:`repro.api.Graph.restore_snapshot`), replay the WAL records at or
+after the checkpoint's seq through the facade (:func:`apply_event`), then
+attach a :class:`~repro.persist.wal.WalWriter` as an event-log subscriber
+so every subsequent mutation is logged before control returns to the
+caller.  A torn final record — the partial write of a crash — is detected
+by the scan's CRC/length framing and truncated away (writer mode only).
+Replay re-applies the *normalized* batches the backend originally saw,
+so the recovered graph's :meth:`~repro.api.Graph.snapshot` is
+bit-identical to the lost instance's (pinned by the contract tests).
+
+``read_only=True`` opens the same directory as a **read replica**: no
+writer is attached, no file is ever modified, and :meth:`DurableGraph.tail`
+applies whatever records another process has appended since the last
+call — the replica's ``graph.events`` republishes them, so cursor-based
+incremental analytics (:mod:`repro.stream.incremental`) work unchanged.
+
+Single-writer discipline is assumed, not enforced: one process owns a
+store directory for writing; any number may follow it read-only.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api.facade import Graph
+from repro.eventlog.events import EdgeBatch, StructuralEvent
+from repro.io import atomic_write
+from repro.persist.checkpoint import (
+    CheckpointManifest,
+    env_fingerprint,
+    latest_valid_checkpoint,
+    write_checkpoint,
+)
+from repro.persist.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    LogFollower,
+    WalWriter,
+    list_segments,
+    repair_wal,
+    scan_wal,
+)
+from repro.util.errors import ValidationError
+
+__all__ = ["DurableGraph", "open_graph", "apply_event"]
+
+STORE_FILE = "store.json"
+WAL_DIR = "wal"
+CHECKPOINT_DIR = "checkpoints"
+STORE_KIND = "repro-durable-graph"
+STORE_SCHEMA_VERSION = 1
+
+#: Replayable structural reasons → how :func:`apply_event` re-applies
+#: them.  Maintenance events (rehash, tombstone flush) do not change the
+#: logical edge set, so replay skips them.
+_SKIPPED_REASONS = ("rehash", "flush_tombstones")
+
+
+def apply_event(graph: Graph, event) -> None:
+    """Re-apply one logged event through the facade.
+
+    Replay is content-deterministic: batches were normalized before they
+    were logged, and edge mutations have replace semantics, so applying
+    the same history to the same starting state reproduces the same
+    logical edge set (and hence a bit-identical snapshot).
+    """
+    if isinstance(event, EdgeBatch):
+        if event.is_insert:
+            graph.insert_edges(event.src, event.dst, event.weights)
+        else:
+            graph.delete_edges(event.src, event.dst)
+        return
+    if isinstance(event, StructuralEvent):
+        if event.reason in _SKIPPED_REASONS:
+            return
+        if event.payload is None:
+            raise ValidationError(
+                f"structural event {event.reason!r} (seq {event.seq}) carries no "
+                "payload — this WAL was written before payloads existed and "
+                "cannot be replayed"
+            )
+        if event.reason == "delete_vertices":
+            graph.delete_vertices(event.payload)
+            return
+        if event.reason == "bulk_build":
+            graph.bulk_build(event.payload)
+            return
+        raise ValidationError(f"cannot replay structural event {event.reason!r}")
+    raise ValidationError(f"cannot replay event of type {type(event).__name__}")
+
+
+class DurableGraph:
+    """A recovered :class:`~repro.api.Graph` plus its durability plumbing.
+
+    Mutate through :attr:`graph` exactly as usual — the attached WAL
+    writer observes the event log, so durability is transparent.  Call
+    :meth:`checkpoint` (or set ``checkpoint_every_rows``) to bound
+    recovery's replay length, :meth:`sync` to force the WAL to disk, and
+    :meth:`close` when done.  Read replicas (``read_only=True``) expose
+    :meth:`tail` instead of a writer.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        graph: Graph,
+        *,
+        backend_name: str,
+        wal: WalWriter | None,
+        follower: LogFollower | None,
+        checkpoint_every_rows: int | None,
+        recovered_checkpoint: CheckpointManifest | None,
+        replayed_events: int,
+        repaired_torn_tail: bool,
+    ) -> None:
+        self.directory = Path(directory)
+        self.graph = graph
+        self.backend_name = backend_name
+        self.wal = wal
+        self.follower = follower
+        self.checkpoint_every_rows = checkpoint_every_rows
+        #: Manifest recovery started from (None → replayed from empty).
+        self.recovered_checkpoint = recovered_checkpoint
+        #: WAL records replayed during recovery.
+        self.replayed_events = replayed_events
+        #: True when recovery truncated a torn tail / dropped segments.
+        self.repaired_torn_tail = repaired_torn_tail
+        self.last_checkpoint = recovered_checkpoint
+        self._rows_since_checkpoint = 0
+        if wal is not None:
+            graph.events.subscribe(self)
+
+    @property
+    def read_only(self) -> bool:
+        return self.wal is None
+
+    # -- event-log subscriber (writer mode) --------------------------------------
+
+    def on_event(self, event) -> None:
+        self.wal.append(event)
+        if isinstance(event, EdgeBatch):
+            self._rows_since_checkpoint += event.rows
+        if (
+            self.checkpoint_every_rows
+            and self._rows_since_checkpoint >= self.checkpoint_every_rows
+        ):
+            self.checkpoint()
+
+    # -- durability operations ---------------------------------------------------
+
+    def checkpoint(self) -> CheckpointManifest:
+        """Write an atomic checkpoint of the current graph.
+
+        The WAL is flushed first and the manifest records the current
+        durable seq, so recovery replays exactly the records this
+        snapshot does not already contain.
+        """
+        if self.wal is None:
+            raise ValidationError("read-only replicas cannot write checkpoints")
+        self.wal.flush()
+        snap = self.graph.snapshot()
+        manifest = write_checkpoint(
+            self.directory / CHECKPOINT_DIR,
+            snap,
+            seq=self.wal.next_seq,
+            backend=self.backend_name,
+            weighted=self.graph.weighted,
+            mutation_version=self.graph.mutation_version,
+        )
+        self.last_checkpoint = manifest
+        self._rows_since_checkpoint = 0
+        return manifest
+
+    def tail(self) -> int:
+        """Read-replica catch-up: apply the records another process has
+        appended since the last call; returns how many were applied."""
+        if self.follower is None:
+            raise ValidationError("tail() is for read replicas (open with read_only=True)")
+        events = self.follower.poll()
+        for event in events:
+            apply_event(self.graph, event)
+        return len(events)
+
+    def sync(self) -> None:
+        """Force buffered WAL records to disk (no-op for replicas)."""
+        if self.wal is not None:
+            self.wal.flush()
+
+    def close(self) -> None:
+        """Detach from the event log and close the WAL."""
+        if self.wal is not None:
+            self.graph.events.unsubscribe(self)
+            self.wal.close()
+            self.wal = None
+
+    def __enter__(self) -> "DurableGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "read-only" if self.read_only else "writer"
+        return f"DurableGraph({self.backend_name!r}, {mode}, dir={str(self.directory)!r})"
+
+
+def _load_store_meta(path: Path) -> dict:
+    try:
+        meta = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"unreadable store file {path}: {exc}")
+    if not isinstance(meta, dict) or meta.get("kind") != STORE_KIND:
+        raise ValidationError(f"{path} is not a durable-graph store file")
+    if meta.get("schema_version") != STORE_SCHEMA_VERSION:
+        raise ValidationError(
+            f"{path} has schema {meta.get('schema_version')}, "
+            f"this reader supports {STORE_SCHEMA_VERSION}"
+        )
+    return meta
+
+
+def _check_identity(meta: dict, requested: dict) -> None:
+    """Explicitly requested identity must match what the store holds —
+    silently reinterpreting persisted bytes under a different backend or
+    vertex space would 'recover' a different graph."""
+    for key, value in requested.items():
+        if value is not None and value != meta[key]:
+            raise ValidationError(
+                f"store holds {key}={meta[key]!r} but {key}={value!r} was "
+                "requested — open the store with its recorded identity (or "
+                "omit the argument to accept it)"
+            )
+
+
+def open_graph(
+    directory,
+    backend: str | None = None,
+    num_vertices: int | None = None,
+    *,
+    weighted: bool | None = None,
+    self_loops: str = "drop",
+    dedup_batches: bool = False,
+    default_weight: int = 0,
+    backend_kwargs: dict | None = None,
+    fsync: str = "batch",
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    checkpoint_every_rows: int | None = None,
+    read_only: bool = False,
+) -> DurableGraph:
+    """Open (creating or recovering) a durable graph store at ``directory``.
+
+    First open requires ``num_vertices`` (and takes ``backend``, default
+    ``"slabhash"``, plus the usual facade policies); the identity is
+    persisted to ``store.json`` and later opens recover with it — passing
+    a *different* explicit identity raises :class:`ValidationError`.
+    ``fsync``, ``segment_bytes`` and ``checkpoint_every_rows`` are
+    per-open operational knobs, not identity.  See the module docstring
+    for recovery semantics and ``read_only`` replicas.
+    """
+    directory = Path(directory)
+    store_path = directory / STORE_FILE
+    if store_path.exists():
+        meta = _load_store_meta(store_path)
+        _check_identity(
+            meta, {"backend": backend, "num_vertices": num_vertices, "weighted": weighted}
+        )
+        if backend_kwargs and backend_kwargs != meta["backend_kwargs"]:
+            raise ValidationError(
+                f"store was created with backend_kwargs={meta['backend_kwargs']!r}; "
+                f"got {backend_kwargs!r}"
+            )
+    else:
+        if read_only:
+            raise ValidationError(
+                f"no durable store at {directory} — a read replica needs an "
+                "existing store to follow"
+            )
+        if num_vertices is None:
+            raise ValidationError("creating a new store requires num_vertices")
+        meta = {
+            "kind": STORE_KIND,
+            "schema_version": STORE_SCHEMA_VERSION,
+            "backend": backend or "slabhash",
+            "num_vertices": int(num_vertices),
+            "weighted": bool(weighted),
+            "self_loops": self_loops,
+            "dedup_batches": bool(dedup_batches),
+            "default_weight": int(default_weight),
+            "backend_kwargs": dict(backend_kwargs or {}),
+            "environment": env_fingerprint(),
+        }
+        directory.mkdir(parents=True, exist_ok=True)
+        with atomic_write(store_path, "w") as fh:
+            json.dump(meta, fh, indent=2)
+            fh.write("\n")
+
+    graph = Graph.create(
+        meta["backend"],
+        meta["num_vertices"],
+        weighted=meta["weighted"],
+        self_loops=meta["self_loops"],
+        dedup_batches=meta["dedup_batches"],
+        default_weight=meta["default_weight"],
+        **meta["backend_kwargs"],
+    )
+
+    wal_dir = directory / WAL_DIR
+    scan = scan_wal(wal_dir)
+    repaired = False
+    if scan.torn and not read_only:
+        repaired = repair_wal(scan)
+
+    found = latest_valid_checkpoint(
+        directory / CHECKPOINT_DIR,
+        min_seq=scan.start_seq if scan.events else 0,
+    )
+    manifest = None
+    replay_from = 0
+    if found is not None:
+        snap, manifest = found
+        replay_from = manifest.seq
+        # An all-empty snapshot has nothing to restore, and restoring it
+        # would mark the backend built — breaking replay of a logged
+        # bulk_build that legitimately expects an empty graph.
+        if manifest.num_edges:
+            graph.restore_snapshot(snap)
+    elif scan.events and scan.start_seq > 0:
+        raise ValidationError(
+            f"WAL history starts at seq {scan.start_seq} but no valid "
+            "checkpoint covers the records before it — the store cannot be "
+            "recovered"
+        )
+
+    to_replay = [e for e in scan.events if e.seq >= replay_from]
+    for event in to_replay:
+        apply_event(graph, event)
+
+    wal = None
+    follower = None
+    if read_only:
+        follower = LogFollower(wal_dir, start_seq=scan.next_seq)
+    else:
+        next_seq = scan.next_seq
+        if replay_from > next_seq:
+            # The checkpoint post-dates every surviving WAL record (the
+            # log was lost after the checkpoint was cut).  Every on-disk
+            # record is already baked into the snapshot; clear them so
+            # the new segment's seq range stays contiguous.
+            for seg in list_segments(wal_dir):
+                seg.unlink()
+            next_seq = replay_from
+        wal = WalWriter(
+            wal_dir, start_seq=next_seq, fsync=fsync, segment_bytes=segment_bytes
+        )
+
+    return DurableGraph(
+        directory,
+        graph,
+        backend_name=meta["backend"],
+        wal=wal,
+        follower=follower,
+        checkpoint_every_rows=checkpoint_every_rows,
+        recovered_checkpoint=manifest,
+        replayed_events=len(to_replay),
+        repaired_torn_tail=repaired,
+    )

@@ -17,8 +17,13 @@ package makes that workload a first-class object:
 The ``t11`` bench artifact (:mod:`repro.bench.stream_bench`) prices the
 incremental compute phases against the full-recompute baseline the other
 structures model.
+
+:mod:`repro.stream.durable` runs the same schedules against a
+:class:`repro.persist.DurableGraph`, with phase-boundary progress records
+so a paused or crashed run resumes bit-identically.
 """
 
+from repro.stream.durable import run_scenario_durable
 from repro.stream.incremental import (
     IncrementalAnalytic,
     IncrementalConnectedComponents,
@@ -55,4 +60,5 @@ __all__ = [
     "mixed_scenario",
     "quick_scenarios",
     "run_scenario",
+    "run_scenario_durable",
 ]

@@ -1,0 +1,193 @@
+"""Durable scenario runs: pause, crash, and resume mid-schedule.
+
+:func:`run_scenario_durable` executes the same phase schedule as
+:func:`repro.stream.scenario.run_scenario`, but against a
+:class:`repro.persist.DurableGraph` — every applied batch is framed into
+the store's write-ahead log — and records its progress (next phase index,
+RNG state, completed phase results) in an atomically-written
+``scenario.json`` beside the store after every phase.
+
+That makes three interruption shapes recoverable:
+
+- **pause** — pass ``stop_after_phase=i`` to stop once phase ``i``
+  completes; a later call with the same scenario picks up at phase
+  ``i + 1``;
+- **crash** — a killed process resumes from the last completed phase:
+  the store recovers checkpoint + WAL-tail, and the persisted RNG state
+  (``numpy``'s ``bit_generator.state``) makes every subsequent batch
+  draw the exact values the uninterrupted run would have drawn, so the
+  final graph is bit-identical (pinned by the tests);
+- **read replica** — a second process can ``open_graph(dir,
+  read_only=True)`` at any point and tail the run's WAL.
+
+Progress is only recorded at phase boundaries: a crash *inside* a phase
+re-runs that phase from its start on resume.  Replaying the phase's
+batches is idempotent for the graph (replace semantics, same RNG draws)
+— but the WAL then holds the partial attempt *and* the re-run, so resume
+cuts a checkpoint right before re-entering the schedule, anchoring
+recovery past the duplicated records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.io import atomic_write
+from repro.persist import open_graph
+from repro.stream.scenario import (
+    PhaseResult,
+    Scenario,
+    ScenarioResult,
+    _compute_setup,
+    _execute_phase,
+    _validate_exactness,
+    build_dataset,
+)
+from repro.util.errors import ValidationError
+
+__all__ = ["run_scenario_durable", "PROGRESS_FILE"]
+
+PROGRESS_FILE = "scenario.json"
+_PROGRESS_KIND = "repro-scenario-progress"
+_PROGRESS_SCHEMA = 1
+
+
+def _identity(scenario: Scenario, backend_name: str, mode: str) -> dict:
+    return {
+        "scenario": scenario.name,
+        "seed": scenario.seed,
+        "backend": backend_name,
+        "mode": mode,
+        "num_phases": len(scenario.phases),
+    }
+
+
+def _write_progress(path: Path, identity: dict, next_phase: int, rng, results) -> None:
+    doc = {
+        "kind": _PROGRESS_KIND,
+        "schema_version": _PROGRESS_SCHEMA,
+        **identity,
+        "next_phase": int(next_phase),
+        "complete": next_phase >= identity["num_phases"],
+        "rng_state": rng.bit_generator.state,
+        "phases": [asdict(r) for r in results],
+    }
+    with atomic_write(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def _load_progress(path: Path, identity: dict) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"unreadable scenario progress file {path}: {exc}")
+    if not isinstance(doc, dict) or doc.get("kind") != _PROGRESS_KIND:
+        raise ValidationError(f"{path} is not a scenario progress file")
+    for key, value in identity.items():
+        if doc.get(key) != value:
+            raise ValidationError(
+                f"progress file records {key}={doc.get(key)!r} but this run "
+                f"has {key}={value!r} — resuming a different scenario into "
+                "the same directory would corrupt both"
+            )
+    return doc
+
+
+def run_scenario_durable(
+    scenario: Scenario,
+    backend_name: str,
+    directory,
+    *,
+    mode: str = "incremental",
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iters: int = 100,
+    prime: bool = True,
+    validate: bool = False,
+    stop_after_phase: int | None = None,
+    fsync: str = "batch",
+    segment_bytes: int | None = None,
+    checkpoint_every_rows: int | None = None,
+) -> ScenarioResult:
+    """Run (or resume) a scenario against a durable store at ``directory``.
+
+    Same semantics and arguments as
+    :func:`~repro.stream.scenario.run_scenario`, plus:
+
+    - ``stop_after_phase`` — pause once that phase index completes (the
+      returned result covers only the phases executed so far);
+    - ``fsync`` / ``segment_bytes`` / ``checkpoint_every_rows`` — passed
+      through to :func:`repro.persist.open_graph`.
+
+    The returned :class:`ScenarioResult` includes phases completed by
+    *earlier* calls (reloaded from the progress file), so a finished
+    resumed run reports the full schedule.  Note the incremental
+    analytics re-initialize cold on each resume: compute-phase *costs*
+    can differ from an uninterrupted run's, the graph content never does.
+    """
+    if mode not in ("incremental", "full"):
+        raise ValidationError(f"mode must be 'incremental' or 'full', got {mode!r}")
+    directory = Path(directory)
+    progress_path = directory / PROGRESS_FILE
+    identity = _identity(scenario, backend_name, mode)
+    coo = build_dataset(scenario)
+
+    open_kwargs: dict = {
+        "fsync": fsync,
+        "checkpoint_every_rows": checkpoint_every_rows,
+    }
+    if segment_bytes is not None:
+        open_kwargs["segment_bytes"] = segment_bytes
+
+    prior_results: list = []
+    if progress_path.exists():
+        doc = _load_progress(progress_path, identity)
+        next_phase = int(doc["next_phase"])
+        prior_results = [PhaseResult(**r) for r in doc["phases"]]
+        dg = open_graph(directory, **open_kwargs)
+        rng = np.random.default_rng(scenario.seed + 0x51AB)
+        rng.bit_generator.state = doc["rng_state"]
+        resumed = True
+    else:
+        next_phase = 0
+        dg = open_graph(
+            directory,
+            backend_name,
+            num_vertices=coo.num_vertices,
+            weighted=scenario.weighted,
+            **open_kwargs,
+        )
+        dg.graph.bulk_build(coo)
+        rng = np.random.default_rng(scenario.seed + 0x51AB)
+        resumed = False
+
+    try:
+        g = dg.graph
+        compute_once, inc_cc, inc_pr = _compute_setup(g, mode, damping, tol, max_iters, prime)
+        if resumed and next_phase < len(scenario.phases):
+            # The WAL may hold a partial phase the crash interrupted; the
+            # re-run about to happen duplicates those records, which is
+            # graph-idempotent but would double-apply under replay.  A
+            # checkpoint here anchors recovery past them.
+            dg.checkpoint()
+        results = list(prior_results)
+        for index in range(next_phase, len(scenario.phases)):
+            phase = scenario.phases[index]
+            results.append(_execute_phase(index, phase, g, coo, rng, scenario, compute_once))
+            if validate and mode == "incremental":
+                _validate_exactness(
+                    g, inc_cc, inc_pr, damping, tol, max_iters, (scenario.name, index)
+                )
+            dg.sync()  # the phase's WAL records must be durable ...
+            _write_progress(progress_path, identity, index + 1, rng, results)
+            # ... before the progress file claims the phase completed.
+            if stop_after_phase is not None and index >= stop_after_phase:
+                break
+    finally:
+        dg.close()
+    return ScenarioResult(scenario=scenario, backend=backend_name, mode=mode, phases=results)

@@ -216,15 +216,28 @@ def run_scenario(
     n = coo.num_vertices
     g = Graph.create(backend_name, num_vertices=n, weighted=scenario.weighted)
     g.bulk_build(coo)
-    caps = g.capabilities
 
+    compute_once, inc_cc, inc_pr = _compute_setup(g, mode, damping, tol, max_iters, prime)
+    rng = np.random.default_rng(scenario.seed + 0x51AB)
+
+    results: list = []
+    for index, phase in enumerate(scenario.phases):
+        results.append(_execute_phase(index, phase, g, coo, rng, scenario, compute_once))
+        if validate and mode == "incremental":
+            _validate_exactness(g, inc_cc, inc_pr, damping, tol, max_iters, (scenario.name, index))
+    return ScenarioResult(scenario=scenario, backend=backend_name, mode=mode, phases=results)
+
+
+def _compute_setup(g, mode, damping, tol, max_iters, prime):
+    """``(compute_once, inc_cc, inc_pr)`` for one run: the compute-phase
+    closure plus the incremental analytics it drives (None in full mode).
+    Shared with :mod:`repro.stream.durable`."""
     inc_cc = inc_pr = None
     if mode == "incremental":
         inc_cc = IncrementalConnectedComponents(g)
         inc_pr = IncrementalPageRank(g, damping=damping, tol=tol, max_iters=max_iters)
         if prime:
             inc_pr.compute()
-    rng = np.random.default_rng(scenario.seed + 0x51AB)
 
     def compute_once() -> dict:
         if mode == "incremental":
@@ -238,68 +251,71 @@ def run_scenario(
         # Full-recompute baseline: cold export + cold sort + cold kernels.
         snap = CSRSnapshot.from_coo(g.export_coo())
         connected_components(snap)
+        n = g.num_vertices
         uniform = np.full(n, 1.0 / n, dtype=np.float64)
         _, sweeps = power_iteration(snap, uniform, damping=damping, tol=tol, max_iters=max_iters)
         return {"cc_mode": "cold", "pr_mode": "cold", "pr_sweeps": sweeps}
 
-    results: list = []
-    for index, phase in enumerate(scenario.phases):
-        applied = 0
-        skipped = False
-        detail: dict = {}
-        before = get_counters().snapshot()
-        t0 = perf_counter()
-        if phase.kind == "insert":
-            for _ in range(phase.batches):
-                src = rng.integers(0, n, phase.size, dtype=np.int64)
-                dst = rng.integers(0, n, phase.size, dtype=np.int64)
-                w = (
-                    rng.integers(1, 100, phase.size, dtype=np.int64)
-                    if scenario.weighted
-                    else None
-                )
-                applied += g.insert_edges(src, dst, w)
-        elif phase.kind == "delete":
-            for _ in range(phase.batches):
-                # Sample from the seed edge list: mostly-live targets, the
-                # occasional already-deleted duplicate (allowed, a no-op).
-                pick = rng.integers(0, coo.num_edges, phase.size)
-                applied += g.delete_edges(coo.src[pick], coo.dst[pick])
-        elif phase.kind == "vertex_churn":
-            if not caps.vertex_dynamic:
-                skipped = True
-            else:
-                for _ in range(phase.batches):
-                    vids = rng.choice(n, size=min(phase.size, n), replace=False)
-                    applied += g.delete_vertices(vids.astype(np.int64))
-        elif phase.kind == "query":
-            for _ in range(phase.batches):
-                qs = rng.integers(0, n, phase.size, dtype=np.int64)
-                qd = rng.integers(0, n, phase.size, dtype=np.int64)
-                hits = int(g.edge_exists(qs, qd).sum())
-                g.degree(qs)
-                applied += phase.size
-                detail["hits"] = detail.get("hits", 0) + hits
-        else:  # compute
-            detail = compute_once()
-            applied = 1
-        wall = perf_counter() - t0
-        delta = get_counters().diff(before)
-        results.append(
-            PhaseResult(
-                index=index,
-                kind=phase.kind,
-                applied=applied,
-                skipped=skipped,
-                wall_seconds=wall,
-                model_seconds=simulated_seconds(delta),
-                counters={k: v for k, v in delta.items() if v},
-                detail=detail,
+    return compute_once, inc_cc, inc_pr
+
+
+def _execute_phase(index, phase, g, coo, rng, scenario, compute_once) -> PhaseResult:
+    """Run one phase against ``g``, drawing from ``rng``; shared by
+    :func:`run_scenario` and the durable runner in
+    :mod:`repro.stream.durable` (identical RNG consumption is what makes
+    a paused-then-resumed run bit-identical to an uninterrupted one)."""
+    n = coo.num_vertices
+    applied = 0
+    skipped = False
+    detail: dict = {}
+    before = get_counters().snapshot()
+    t0 = perf_counter()
+    if phase.kind == "insert":
+        for _ in range(phase.batches):
+            src = rng.integers(0, n, phase.size, dtype=np.int64)
+            dst = rng.integers(0, n, phase.size, dtype=np.int64)
+            w = (
+                rng.integers(1, 100, phase.size, dtype=np.int64)
+                if scenario.weighted
+                else None
             )
-        )
-        if validate and mode == "incremental":
-            _validate_exactness(g, inc_cc, inc_pr, damping, tol, max_iters, (scenario.name, index))
-    return ScenarioResult(scenario=scenario, backend=backend_name, mode=mode, phases=results)
+            applied += g.insert_edges(src, dst, w)
+    elif phase.kind == "delete":
+        for _ in range(phase.batches):
+            # Sample from the seed edge list: mostly-live targets, the
+            # occasional already-deleted duplicate (allowed, a no-op).
+            pick = rng.integers(0, coo.num_edges, phase.size)
+            applied += g.delete_edges(coo.src[pick], coo.dst[pick])
+    elif phase.kind == "vertex_churn":
+        if not g.capabilities.vertex_dynamic:
+            skipped = True
+        else:
+            for _ in range(phase.batches):
+                vids = rng.choice(n, size=min(phase.size, n), replace=False)
+                applied += g.delete_vertices(vids.astype(np.int64))
+    elif phase.kind == "query":
+        for _ in range(phase.batches):
+            qs = rng.integers(0, n, phase.size, dtype=np.int64)
+            qd = rng.integers(0, n, phase.size, dtype=np.int64)
+            hits = int(g.edge_exists(qs, qd).sum())
+            g.degree(qs)
+            applied += phase.size
+            detail["hits"] = detail.get("hits", 0) + hits
+    else:  # compute
+        detail = compute_once()
+        applied = 1
+    wall = perf_counter() - t0
+    delta = get_counters().diff(before)
+    return PhaseResult(
+        index=index,
+        kind=phase.kind,
+        applied=applied,
+        skipped=skipped,
+        wall_seconds=wall,
+        model_seconds=simulated_seconds(delta),
+        counters={k: v for k, v in delta.items() if v},
+        detail=detail,
+    )
 
 
 def _validate_exactness(g, inc_cc, inc_pr, damping, tol, max_iters, ctx) -> None:

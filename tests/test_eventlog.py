@@ -213,3 +213,42 @@ class TestOrderingAndChain:
         )
         src[0] = 99  # caller refills its buffer
         assert event.src[0] == 0
+
+
+class TestSeqValidation:
+    """Out-of-range positions raise instead of silently clamping — a
+    caller holding such a seq has confused logs, and a clamped read would
+    mask that as an empty or complete history."""
+
+    def _log(self):
+        log = EventLog()
+        batch(log, True, [(0, 1), (1, 2)], 0, 1)
+        batch(log, False, [(0, 1)], 1, 2)
+        return log
+
+    def test_cursor_rejects_out_of_range_seqs(self):
+        from repro.util.errors import ValidationError
+
+        log = self._log()
+        with pytest.raises(ValidationError, match="outside this log's published range"):
+            log.cursor(-1)
+        with pytest.raises(ValidationError, match="outside this log's published range"):
+            log.cursor(log.next_seq + 1)
+
+    def test_events_since_rejects_out_of_range_seqs(self):
+        from repro.util.errors import ValidationError
+
+        log = self._log()
+        with pytest.raises(ValidationError, match="outside this log's published range"):
+            log.events_since(-1)
+        with pytest.raises(ValidationError, match="outside this log's published range"):
+            log.events_since(log.next_seq + 1)
+
+    def test_boundary_seqs_accepted(self):
+        log = self._log()
+        events, gapped = log.events_since(0)
+        assert len(events) == 2 and not gapped
+        # The tail itself is a valid (empty-history) position.
+        events, gapped = log.events_since(log.next_seq)
+        assert events == [] and not gapped
+        assert log.cursor(log.next_seq).peek() == ([], False)

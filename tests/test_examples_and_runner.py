@@ -46,6 +46,14 @@ def test_sharded_service_example_runs(capsys):
     assert "modeled update speedup" in out
 
 
+def test_durable_service_example_runs(capsys):
+    run_example("durable_service.py")
+    out = capsys.readouterr().out
+    assert "recovered graph is bit-identical to the lost instance" in out
+    assert "torn record discarded" in out
+    assert "replica tailed" in out
+
+
 @pytest.mark.slow
 def test_streaming_example_runs(capsys):
     run_example("streaming_social_network.py")

@@ -182,3 +182,33 @@ class TestGzip:
         write_edge_list(path, coo)
         assert path.read_text().startswith("#")  # not gzipped
         assert pairs(read_edge_list(path)) == [(0, 1)]
+
+
+class TestAtomicWrite:
+    def test_success_leaves_no_tmp_file(self, tmp_path):
+        from repro.io import atomic_write
+
+        target = tmp_path / "out.txt"
+        with atomic_write(target, "w", fsync=False) as fh:
+            fh.write("hello")
+        assert target.read_text() == "hello"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failure_keeps_previous_version_and_removes_tmp(self, tmp_path):
+        from repro.io import atomic_write
+
+        target = tmp_path / "out.txt"
+        target.write_text("previous")
+        with pytest.raises(RuntimeError, match="boom"):
+            with atomic_write(target, "w", fsync=False) as fh:
+                fh.write("partial garbage")
+                raise RuntimeError("boom")
+        assert target.read_text() == "previous"  # destination untouched
+        assert list(tmp_path.iterdir()) == [target]  # tmp cleaned up
+
+    def test_save_npz_appends_suffix_atomically(self, tmp_path):
+        coo = COO([0, 1], [1, 2], 4)
+        save_npz(tmp_path / "snap", coo)  # no .npz suffix
+        back = load_npz(tmp_path / "snap.npz")
+        assert pairs(back) == pairs(coo)
+        assert {p.name for p in tmp_path.iterdir()} == {"snap.npz"}

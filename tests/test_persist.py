@@ -1,0 +1,618 @@
+"""Durability tests: WAL framing, checkpoints, crash recovery, replicas.
+
+The acceptance bar for :mod:`repro.persist` is *bit-identity*: after any
+combination of checkpoint, crash (torn WAL tail, corrupt record, deleted
+checkpoint), and replay, the recovered graph's sorted-CSR snapshot must
+equal the lost live instance's exactly — for every registered backend,
+weighted and unweighted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.api import Graph
+from repro.coo import COO
+from repro.eventlog.events import EdgeBatch, StructuralEvent
+from repro.persist import (
+    LogFollower,
+    WalWriter,
+    apply_event,
+    latest_valid_checkpoint,
+    list_segments,
+    load_checkpoint,
+    open_graph,
+    repair_wal,
+    scan_wal,
+    write_checkpoint,
+)
+from repro.persist.wal import RECORD_HEADER, SEGMENT_HEADER
+from repro.stream import mixed_scenario, run_scenario_durable
+from repro.stream.incremental import IncrementalConnectedComponents
+from repro.util.errors import ValidationError
+
+ALL_BACKENDS = sorted(api.backend_names())
+
+
+def assert_snaps_identical(got, want, ctx=""):
+    assert got.num_vertices == want.num_vertices, ctx
+    assert np.array_equal(got.row_ptr, want.row_ptr), ctx
+    assert np.array_equal(got.col_idx, want.col_idx), ctx
+    if want.weights is None:
+        assert got.weights is None, ctx
+    else:
+        assert np.array_equal(got.weights, want.weights), ctx
+
+
+def mutate(g, rng, *, weighted, rounds=4, batch=48):
+    """A deterministic mixed workload (inserts + deletes + vertex ops)."""
+    n = g.num_vertices
+    for _ in range(rounds):
+        src = rng.integers(0, n, batch, dtype=np.int64)
+        dst = rng.integers(0, n, batch, dtype=np.int64)
+        w = rng.integers(1, 100, batch, dtype=np.int64) if weighted else None
+        g.insert_edges(src, dst, w)
+        g.delete_edges(src[: batch // 4], dst[: batch // 4])
+    if g.capabilities.vertex_dynamic:
+        g.delete_vertices(rng.choice(n, size=3, replace=False).astype(np.int64))
+
+
+# ---------------------------------------------------------------------------
+# WAL framing
+# ---------------------------------------------------------------------------
+
+
+class TestWalFraming:
+    def _events_roundtrip(self, tmp_path, events):
+        with WalWriter(tmp_path / "wal", fsync="never") as w:
+            for e in events:
+                w.append(e)
+        scan = scan_wal(tmp_path / "wal")
+        assert not scan.torn
+        assert scan.next_seq == len(events)
+        return scan.events
+
+    def test_edge_batches_roundtrip(self, tmp_path):
+        src = np.array([3, 1, 4], dtype=np.int64)
+        dst = np.array([1, 5, 9], dtype=np.int64)
+        w = np.array([10, 20, 30], dtype=np.int64)
+        events = [
+            EdgeBatch(0, 0, 1, True, src, dst, w, rows=3),
+            EdgeBatch(1, 1, 2, False, dst, src, None, rows=6),
+            EdgeBatch(2, None, None, True, src, src, None, rows=3),
+        ]
+        got = self._events_roundtrip(tmp_path, events)
+        for orig, back in zip(events, got):
+            assert isinstance(back, EdgeBatch)
+            assert back.seq == orig.seq
+            assert back.is_insert == orig.is_insert
+            assert back.rows == orig.rows
+            assert back.before_version == orig.before_version
+            assert back.after_version == orig.after_version
+            assert np.array_equal(back.src, orig.src)
+            assert np.array_equal(back.dst, orig.dst)
+            if orig.weights is None:
+                assert back.weights is None
+            else:
+                assert np.array_equal(back.weights, orig.weights)
+
+    def test_structural_payloads_roundtrip(self, tmp_path):
+        vids = np.array([7, 2, 5], dtype=np.int64)
+        coo = COO([0, 1], [1, 2], 8, weights=[5, 6])
+        events = [
+            StructuralEvent(0, 0, 1, "rehash", None),
+            StructuralEvent(1, 1, 2, "delete_vertices", vids),
+            StructuralEvent(2, 2, 3, "bulk_build", coo),
+            StructuralEvent(3, 3, 4, "bulk_build", COO([0], [1], 4)),
+        ]
+        got = self._events_roundtrip(tmp_path, events)
+        assert got[0].reason == "rehash" and got[0].payload is None
+        assert np.array_equal(got[1].payload, vids)
+        back = got[2].payload
+        assert isinstance(back, COO) and back.num_vertices == 8
+        assert np.array_equal(back.src, coo.src) and np.array_equal(back.weights, coo.weights)
+        assert got[3].payload.weights is None
+
+    def test_rotation_produces_contiguous_segments(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        batch = EdgeBatch(0, 0, 1, True, np.arange(64), np.arange(64), None, rows=64)
+        with WalWriter(wal_dir, fsync="never", segment_bytes=2048) as w:
+            for _ in range(10):
+                w.append(batch)
+        segments = list_segments(wal_dir)
+        assert len(segments) > 1
+        # Each segment is named by its first record's seq.
+        scan = scan_wal(wal_dir)
+        assert not scan.torn and len(scan.events) == 10
+        assert [e.seq for e in scan.events] == list(range(10))
+
+    def test_writer_resumes_into_existing_tail(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        batch = EdgeBatch(0, 0, 1, True, np.array([1]), np.array([2]), None, rows=1)
+        with WalWriter(wal_dir, fsync="never") as w:
+            w.append(batch)
+            w.append(batch)
+        scan = scan_wal(wal_dir)
+        with WalWriter(wal_dir, start_seq=scan.next_seq, fsync="never") as w:
+            w.append(batch)
+        scan = scan_wal(wal_dir)
+        assert not scan.torn
+        assert [e.seq for e in scan.events] == [0, 1, 2]
+        assert len(list_segments(wal_dir)) == 1
+
+    def test_fsync_policy_validated(self, tmp_path):
+        with pytest.raises(ValidationError, match="fsync"):
+            WalWriter(tmp_path / "wal", fsync="sometimes")
+
+    def test_fsync_always_is_immediately_scannable(self, tmp_path):
+        batch = EdgeBatch(0, 0, 1, True, np.array([1]), np.array([2]), None, rows=1)
+        w = WalWriter(tmp_path / "wal", fsync="always")
+        w.append(batch)
+        # No flush/close: the record must already be durable on disk.
+        assert len(scan_wal(tmp_path / "wal").events) == 1
+        w.close()
+
+
+# ---------------------------------------------------------------------------
+# Scan + repair of torn and corrupt logs
+# ---------------------------------------------------------------------------
+
+
+def _write_batches(wal_dir, count, *, rows=8, segment_bytes=1 << 20):
+    rng = np.random.default_rng(0)
+    with WalWriter(wal_dir, fsync="never", segment_bytes=segment_bytes) as w:
+        for _ in range(count):
+            w.append(
+                EdgeBatch(
+                    0,
+                    0,
+                    1,
+                    True,
+                    rng.integers(0, 32, rows),
+                    rng.integers(0, 32, rows),
+                    None,
+                    rows=rows,
+                )
+            )
+
+
+class TestScanAndRepair:
+    def test_truncation_mid_record_header(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        _write_batches(wal_dir, 5)
+        seg = list_segments(wal_dir)[-1]
+        size = seg.stat().st_size
+        with open(seg, "r+b") as fh:
+            fh.truncate(size - 1)  # cut inside the final record's payload
+        scan = scan_wal(wal_dir)
+        assert scan.torn and len(scan.events) == 4
+        assert repair_wal(scan)
+        rescan = scan_wal(wal_dir)
+        assert not rescan.torn and len(rescan.events) == 4
+
+    def test_truncation_mid_batch_arrays(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        _write_batches(wal_dir, 5, rows=32)
+        seg = list_segments(wal_dir)[-1]
+        # Cut deep inside the last record's src/dst array bytes.
+        with open(seg, "r+b") as fh:
+            fh.truncate(seg.stat().st_size - 100)
+        scan = scan_wal(wal_dir)
+        assert scan.torn and len(scan.events) == 4
+        repair_wal(scan)
+        assert len(scan_wal(wal_dir).events) == 4
+
+    def test_crc_corruption_stops_scan_and_drops_suffix(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        _write_batches(wal_dir, 12, rows=32, segment_bytes=1024)
+        segments = list_segments(wal_dir)
+        assert len(segments) >= 3
+        # Flip one payload byte in the *first* record of the second segment.
+        target = segments[1]
+        data = bytearray(target.read_bytes())
+        data[SEGMENT_HEADER.size + RECORD_HEADER.size + 10] ^= 0xFF
+        target.write_bytes(bytes(data))
+        scan = scan_wal(wal_dir)
+        assert scan.torn
+        assert "CRC" in scan.torn_detail
+        # Valid history = exactly segment 1's records; all later segments drop.
+        assert scan.dropped == segments[2:]
+        assert scan.tail_path == target
+        max_seq = scan.events[-1].seq
+        assert max_seq < 11
+        repair_wal(scan)
+        rescan = scan_wal(wal_dir)
+        assert not rescan.torn
+        assert [e.seq for e in rescan.events] == list(range(max_seq + 1))
+
+    def test_garbage_segment_header(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        (wal_dir / "seg-00000000000000000000.wal").write_bytes(b"not a wal segment")
+        scan = scan_wal(wal_dir)
+        assert scan.torn and not scan.events
+        repair_wal(scan)
+        assert not list_segments(wal_dir)
+
+    def test_empty_directory(self, tmp_path):
+        scan = scan_wal(tmp_path / "missing")
+        assert not scan.torn and scan.next_seq == 0 and not scan.events
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpoints:
+    def _snap(self, weighted):
+        g = Graph.create("slabhash", 32, weighted=weighted)
+        rng = np.random.default_rng(1)
+        w = rng.integers(1, 50, 40) if weighted else None
+        g.insert_edges(rng.integers(0, 32, 40), rng.integers(0, 32, 40), w)
+        return g.snapshot()
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_roundtrip(self, tmp_path, weighted):
+        snap = self._snap(weighted)
+        manifest = write_checkpoint(
+            tmp_path, snap, seq=17, backend="slabhash", weighted=weighted, mutation_version=5
+        )
+        assert manifest.seq == 17 and manifest.mutation_version == 5
+        back, loaded = load_checkpoint(manifest.path)
+        assert_snaps_identical(back, snap)
+        assert loaded.backend == "slabhash"
+
+    def test_crc_mismatch_rejected_and_skipped(self, tmp_path):
+        snap = self._snap(False)
+        m = write_checkpoint(tmp_path, snap, seq=3, backend="slabhash", weighted=False)
+        write_checkpoint(tmp_path, snap, seq=9, backend="slabhash", weighted=False)
+        newest = tmp_path / "ckpt-00000000000000000009.npz"
+        data = bytearray(newest.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        newest.write_bytes(bytes(data))
+        with pytest.raises(ValidationError, match="CRC32"):
+            load_checkpoint(tmp_path / "ckpt-00000000000000000009.json")
+        found = latest_valid_checkpoint(tmp_path)
+        assert found is not None and found[1].seq == m.seq  # fell back to seq 3
+
+    def test_deleted_npz_skipped(self, tmp_path):
+        snap = self._snap(False)
+        write_checkpoint(tmp_path, snap, seq=3, backend="slabhash", weighted=False)
+        write_checkpoint(tmp_path, snap, seq=9, backend="slabhash", weighted=False)
+        (tmp_path / "ckpt-00000000000000000009.npz").unlink()
+        assert latest_valid_checkpoint(tmp_path)[1].seq == 3
+
+    def test_min_seq_excludes_unreplayable(self, tmp_path):
+        snap = self._snap(False)
+        write_checkpoint(tmp_path, snap, seq=3, backend="slabhash", weighted=False)
+        write_checkpoint(tmp_path, snap, seq=9, backend="slabhash", weighted=False)
+        assert latest_valid_checkpoint(tmp_path, min_seq=5)[1].seq == 9
+        assert latest_valid_checkpoint(tmp_path, min_seq=10) is None
+
+    def test_empty_directory(self, tmp_path):
+        assert latest_valid_checkpoint(tmp_path / "none") is None
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery, cross-backend (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def _build_store(tmp_path, name, weighted, *, checkpoint=True, seed=0):
+    """Create a store, run the mixed workload with a mid-way checkpoint,
+    and return ``(store_dir, live_snapshot)`` with the writer abandoned
+    (crash-style: synced but never closed)."""
+    store = tmp_path / "store"
+    rng = np.random.default_rng(seed)
+    dg = open_graph(store, name, num_vertices=32, weighted=weighted, fsync="never")
+    mutate(dg.graph, rng, weighted=weighted)
+    if checkpoint:
+        dg.checkpoint()
+    mutate(dg.graph, rng, weighted=weighted, rounds=2)
+    live = dg.graph.snapshot()
+    dg.wal.close()  # flush buffers only — no unsubscribe, no clean close
+    return store, live
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_recovered_snapshot_bit_identical(self, tmp_path, name, weighted):
+        if weighted and not api.capabilities(name).weighted:
+            pytest.skip(f"{name} does not support weights")
+        store, live = _build_store(tmp_path, name, weighted)
+        rec = open_graph(store, fsync="never")
+        assert rec.recovered_checkpoint is not None
+        assert rec.replayed_events > 0
+        assert_snaps_identical(rec.graph.snapshot(), live, f"{name} weighted={weighted}")
+        rec.close()
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_full_replay_without_any_checkpoint(self, tmp_path, name):
+        store, live = _build_store(tmp_path, name, False, checkpoint=False)
+        rec = open_graph(store, fsync="never")
+        assert rec.recovered_checkpoint is None
+        assert_snaps_identical(rec.graph.snapshot(), live, name)
+        rec.close()
+
+    def test_deleting_all_checkpoints_still_recovers(self, tmp_path):
+        store, live = _build_store(tmp_path, "slabhash", True)
+        for p in (store / "checkpoints").iterdir():
+            p.unlink()
+        rec = open_graph(store, fsync="never")
+        assert rec.recovered_checkpoint is None
+        assert_snaps_identical(rec.graph.snapshot(), live)
+        rec.close()
+
+    def test_deleting_newest_checkpoint_falls_back(self, tmp_path):
+        store = tmp_path / "store"
+        rng = np.random.default_rng(3)
+        dg = open_graph(store, "slabhash", num_vertices=32, weighted=True, fsync="never")
+        mutate(dg.graph, rng, weighted=True)
+        first = dg.checkpoint()
+        mutate(dg.graph, rng, weighted=True, rounds=2)
+        second = dg.checkpoint()
+        mutate(dg.graph, rng, weighted=True, rounds=1)
+        live = dg.graph.snapshot()
+        dg.wal.close()
+        second.path.unlink()
+        second.npz_path.unlink()
+        rec = open_graph(store, fsync="never")
+        assert rec.recovered_checkpoint.seq == first.seq
+        assert_snaps_identical(rec.graph.snapshot(), live)
+        rec.close()
+
+    def test_torn_tail_truncated_and_appends_continue(self, tmp_path):
+        store, _live = _build_store(tmp_path, "slabhash", False)
+        seg = list_segments(store / "wal")[-1]
+        with open(seg, "r+b") as fh:
+            fh.truncate(seg.stat().st_size - 9)  # tear the final record
+        before = scan_wal(store / "wal")
+        rec = open_graph(store, fsync="never")
+        assert rec.repaired_torn_tail
+        # The recovered graph equals a replay of the surviving prefix.
+        reference = Graph.create("slabhash", 32)
+        for e in before.events:
+            apply_event(reference, e)
+        assert_snaps_identical(rec.graph.snapshot(), reference.snapshot())
+        # The store keeps working: append, crash again, recover again.
+        rec.graph.insert_edges([0, 1], [2, 3])
+        live = rec.graph.snapshot()
+        rec.wal.close()
+        rec2 = open_graph(store, fsync="never")
+        assert_snaps_identical(rec2.graph.snapshot(), live)
+        rec2.close()
+
+    def test_corrupt_mid_log_record_recovers_prefix(self, tmp_path):
+        # No checkpoint: a corrupt record truncates history at that point
+        # and recovery replays only the surviving prefix.  (With a later
+        # checkpoint the store would anchor there instead — see above.)
+        store, _ = _build_store(tmp_path, "slabhash", False, checkpoint=False)
+        seg = list_segments(store / "wal")[0]
+        data = bytearray(seg.read_bytes())
+        data[len(data) // 2] ^= 0x01  # lands inside some mid-log record
+        seg.write_bytes(bytes(data))
+        scan = scan_wal(store / "wal")
+        assert scan.torn and scan.events
+        rec = open_graph(store, fsync="never")  # recovers whatever survived
+        assert rec.repaired_torn_tail
+        reference = Graph.create("slabhash", 32)
+        for e in scan.events:
+            apply_event(reference, e)
+        assert_snaps_identical(rec.graph.snapshot(), reference.snapshot())
+        rec.close()
+
+    def test_bulk_build_and_maintenance_replay(self, tmp_path):
+        store = tmp_path / "store"
+        coo = COO([0, 1, 2], [1, 2, 3], 16, weights=[5, 6, 7])
+        dg = open_graph(store, "slabhash", num_vertices=16, weighted=True, fsync="never")
+        dg.graph.bulk_build(coo)
+        dg.graph.rehash()  # maintenance: logged but skipped on replay
+        dg.graph.insert_edges([3], [0], [9])
+        live = dg.graph.snapshot()
+        dg.wal.close()
+        rec = open_graph(store, fsync="never")
+        assert_snaps_identical(rec.graph.snapshot(), live)
+        rec.close()
+
+
+# ---------------------------------------------------------------------------
+# Store identity + DurableGraph behavior
+# ---------------------------------------------------------------------------
+
+
+class TestStoreBehavior:
+    def test_fresh_store_requires_num_vertices(self, tmp_path):
+        with pytest.raises(ValidationError, match="num_vertices"):
+            open_graph(tmp_path / "store")
+
+    def test_read_only_requires_existing_store(self, tmp_path):
+        with pytest.raises(ValidationError, match="read replica"):
+            open_graph(tmp_path / "store", read_only=True)
+
+    def test_identity_mismatch_raises(self, tmp_path):
+        store = tmp_path / "store"
+        open_graph(store, "slabhash", num_vertices=32, fsync="never").close()
+        with pytest.raises(ValidationError, match="backend"):
+            open_graph(store, "hornet")
+        with pytest.raises(ValidationError, match="num_vertices"):
+            open_graph(store, num_vertices=64)
+        with pytest.raises(ValidationError, match="weighted"):
+            open_graph(store, weighted=True)
+        # Omitting the identity accepts the stored one.
+        open_graph(store, fsync="never").close()
+
+    def test_auto_checkpoint_cadence(self, tmp_path):
+        store = tmp_path / "store"
+        dg = open_graph(
+            store, "slabhash", num_vertices=64, fsync="never", checkpoint_every_rows=100
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            dg.graph.insert_edges(rng.integers(0, 64, 40), rng.integers(0, 64, 40))
+        manifests = list((store / "checkpoints").glob("*.json"))
+        assert len(manifests) >= 2  # 240 rows at a 100-row cadence
+        dg.close()
+        rec = open_graph(store, fsync="never")
+        assert rec.recovered_checkpoint is not None
+        rec.close()
+
+    def test_replica_is_read_only_and_tails(self, tmp_path):
+        store = tmp_path / "store"
+        writer = open_graph(store, "slabhash", num_vertices=32, fsync="never")
+        writer.graph.insert_edges([0, 1], [1, 2])
+        writer.checkpoint()
+        writer.sync()
+
+        replica = open_graph(store, read_only=True)
+        with pytest.raises(ValidationError, match="read-only"):
+            replica.checkpoint()
+        files_before = {p: p.stat().st_size for p in (store / "wal").iterdir()}
+        assert replica.tail() == 0  # nothing new yet
+        inc = IncrementalConnectedComponents(replica.graph)
+
+        writer.graph.insert_edges([2, 3], [3, 4])
+        writer.graph.delete_edges([0], [1])
+        writer.sync()
+        assert replica.tail() == 2
+        assert_snaps_identical(replica.graph.snapshot(), writer.graph.snapshot())
+        # Cursor-based incremental analytics ride the replica's event log.
+        from repro.analytics.connected_components import connected_components
+
+        assert np.array_equal(inc.labels(), connected_components(replica.graph.snapshot()))
+        # The replica never modified the writer's files.
+        files_after = {p: p.stat().st_size for p in (store / "wal").iterdir()}
+        assert files_before.keys() <= files_after.keys()
+        for p, size in files_before.items():
+            assert files_after[p] >= size
+        with pytest.raises(ValidationError, match="tail"):
+            writer.tail()
+        writer.close()
+
+    def test_follower_sees_rotation(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        batch = EdgeBatch(0, 0, 1, True, np.arange(64), np.arange(64), None, rows=64)
+        writer = WalWriter(wal_dir, fsync="never", segment_bytes=2048)
+        follower = LogFollower(wal_dir)
+        total = 0
+        for _ in range(5):
+            writer.append(batch)
+            writer.flush()
+            total += len(follower.poll())
+        writer.append(batch)
+        writer.flush()
+        total += len(follower.poll())
+        assert total == 6
+        assert len(list_segments(wal_dir)) > 1
+        writer.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        with open_graph(tmp_path / "store", "slabhash", num_vertices=8, fsync="never") as dg:
+            dg.graph.insert_edges([0, 2], [1, 3])
+            live = dg.graph.snapshot()
+        assert dg.read_only  # wal detached by close()
+        rec = open_graph(tmp_path / "store", fsync="never")
+        assert_snaps_identical(rec.graph.snapshot(), live)
+        rec.close()
+
+
+# ---------------------------------------------------------------------------
+# Durable scenario runs: pause / crash / resume
+# ---------------------------------------------------------------------------
+
+
+class TestDurableScenarios:
+    def _final_snapshot(self, directory):
+        dg = open_graph(directory, fsync="never")
+        try:
+            return dg.graph.snapshot()
+        finally:
+            dg.close()
+
+    def test_pause_resume_bit_identical(self, tmp_path):
+        sc = mixed_scenario(1 << 8, batch=48)
+        part = run_scenario_durable(
+            sc, "slabhash", tmp_path / "a", fsync="never", stop_after_phase=2
+        )
+        assert len(part.phases) == 3
+        done = run_scenario_durable(sc, "slabhash", tmp_path / "a", fsync="never")
+        assert len(done.phases) == len(sc.phases)
+        full = run_scenario_durable(sc, "slabhash", tmp_path / "b", fsync="never")
+        assert len(full.phases) == len(sc.phases)
+        assert_snaps_identical(
+            self._final_snapshot(tmp_path / "a"), self._final_snapshot(tmp_path / "b")
+        )
+        # The resumed run applied the same batches the uninterrupted one did.
+        assert [p.applied for p in done.phases] == [p.applied for p in full.phases]
+
+    def test_crash_mid_phase_converges(self, tmp_path):
+        sc = mixed_scenario(1 << 8, batch=48)
+        run_scenario_durable(sc, "slabhash", tmp_path / "a", fsync="never", stop_after_phase=1)
+        # Simulate a crash partway into the next phase: duplicate records
+        # land in the WAL (re-inserts of existing edges, exactly what a
+        # replayed partial phase produces) without a progress update.
+        dg = open_graph(tmp_path / "a", fsync="never")
+        snap = dg.graph.snapshot()
+        src = np.repeat(np.arange(snap.num_vertices), np.diff(snap.row_ptr))[:3]
+        dg.graph.insert_edges(src, snap.col_idx[:3])
+        dg.wal.close()
+        done = run_scenario_durable(sc, "slabhash", tmp_path / "a", fsync="never")
+        assert len(done.phases) == len(sc.phases)
+        full = run_scenario_durable(sc, "slabhash", tmp_path / "b", fsync="never")
+        assert_snaps_identical(
+            self._final_snapshot(tmp_path / "a"), self._final_snapshot(tmp_path / "b")
+        )
+        assert [p.index for p in done.phases] == [p.index for p in full.phases]
+
+    def test_resuming_different_scenario_raises(self, tmp_path):
+        sc = mixed_scenario(1 << 8, batch=48)
+        run_scenario_durable(sc, "slabhash", tmp_path / "a", fsync="never", stop_after_phase=0)
+        other = mixed_scenario(1 << 8, batch=48, seed=9)
+        with pytest.raises(ValidationError, match="seed"):
+            run_scenario_durable(other, "slabhash", tmp_path / "a", fsync="never")
+
+
+# ---------------------------------------------------------------------------
+# The t13 bench artifact + its committed CI gate
+# ---------------------------------------------------------------------------
+
+
+def test_committed_quick_baseline_gates_recovery_speedup():
+    """The t13 quick gate: checkpoint+tail recovery ≥ 3x cheaper than a
+    cold full-WAL replay at |E| = 2^18 with a 2^12-row tail."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "benchmarks/baselines/BENCH_baseline_quick.json"
+    doc = json.loads(path.read_text())
+    metrics = {r["metric"]: r["value"] for a in doc["artifacts"] for r in a.get("results", [])}
+    gate = [
+        k
+        for k in metrics
+        if k.startswith("t13/E=2^18/tail=2^12/") and k.endswith("/recovery_speedup")
+    ]
+    assert gate, "t13 recovery-speedup metrics missing from the quick baseline"
+    for key in gate:
+        assert metrics[key] >= 3.0, (key, metrics[key])
+
+
+def test_persist_artifact_quick_structure():
+    from repro.bench.persist_bench import persist_artifact
+
+    art = persist_artifact(seed=0, quick=True)
+    keys = {r.metric for r in art.results}
+    prefix = "t13/E=2^18/tail=2^12/slabhash/"
+    for suffix in (
+        "recover",
+        "cold_replay",
+        "recovery_speedup",
+        "wal_bytes_per_row",
+        "ckpt_size",
+        "wal_append_wall",
+        "ckpt_wall",
+        "recover_wall",
+    ):
+        assert prefix + suffix in keys
+    assert len(art.rows) == 1

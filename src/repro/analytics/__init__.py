@@ -25,7 +25,7 @@ faimGraph, GPMA, or any future registered backend.
 from repro.analytics.bfs import bfs
 from repro.analytics.connected_components import connected_components
 from repro.analytics.frontier import advance, filter_frontier, vertex_space
-from repro.analytics.kcore import core_numbers, kcore
+from repro.analytics.kcore import core_numbers, kcore, kcore_membership
 from repro.analytics.ktruss import ktruss
 from repro.analytics.pagerank import pagerank, power_iteration
 from repro.analytics.sssp import sssp
@@ -34,16 +34,20 @@ from repro.analytics.triangle_count import (
     triangle_count_csr,
     triangle_count_hash,
     triangle_count_sorted,
+    undirected_triangles,
 )
+from repro.analytics.wedges import closing_wedges
 
 __all__ = [
     "advance",
     "bfs",
+    "closing_wedges",
     "connected_components",
     "core_numbers",
     "dynamic_triangle_count",
     "filter_frontier",
     "kcore",
+    "kcore_membership",
     "ktruss",
     "pagerank",
     "power_iteration",
@@ -51,5 +55,6 @@ __all__ = [
     "triangle_count_csr",
     "triangle_count_hash",
     "triangle_count_sorted",
+    "undirected_triangles",
     "vertex_space",
 ]

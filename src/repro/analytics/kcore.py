@@ -16,9 +16,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.snapshot import as_snapshot, cached_snapshot
+from repro.gpusim.counters import get_counters
 from repro.util.errors import ValidationError
 
-__all__ = ["kcore", "core_numbers"]
+__all__ = ["kcore", "core_numbers", "kcore_membership"]
 
 
 def kcore(graph, k: int, max_rounds: int = 10_000) -> int:
@@ -64,6 +65,44 @@ def kcore(graph, k: int, max_rounds: int = 10_000) -> int:
         backend.delete_vertices(weak)
         deleted += int(weak.size)
     return deleted
+
+
+def kcore_membership(graph, k: int) -> np.ndarray:
+    """Boolean k-core membership per vertex (non-destructive peeling).
+
+    The k-core is the maximal vertex set in which every member keeps at
+    least ``k`` out-neighbors *within the set* — for the symmetric edge
+    sets the facade's undirected mode (or mirrored insertion) stores,
+    this is the classical undirected k-core.  The fixpoint is unique
+    (removing vertices only lowers the remaining degrees, a monotone
+    closure), so peeling order cannot change the answer.
+
+    Unlike :func:`kcore` this never mutates the graph: it peels flat
+    snapshot arrays, charging the device model one launch plus the edge/
+    vertex stream per round — the cold cost
+    :class:`repro.stream.incremental.IncrementalKCore` repairs around.
+    Accepts any backend, facade, or snapshot; raises
+    :class:`ValidationError` for ``k < 1``.
+    """
+    if k < 1:
+        raise ValidationError("k must be >= 1")
+    snap = as_snapshot(graph)
+    n = snap.num_vertices
+    alive = snap.out_degrees() >= k
+    src, dst = snap.sources(), snap.col_idx
+    counters = get_counters()
+    while True:
+        counters.kernel_launches += 1
+        counters.bytes_copied += int(src.shape[0]) * 16 + n * 8
+        live = alive[src] & alive[dst]
+        deg = np.bincount(src[live], minlength=n)
+        weak = alive & (deg < k)
+        if not weak.any():
+            break
+        alive[weak] = False
+        # Compact the edge stream so later rounds scan survivors only.
+        src, dst = src[live], dst[live]
+    return alive
 
 
 def core_numbers(graph) -> np.ndarray:

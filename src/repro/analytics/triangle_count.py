@@ -29,12 +29,14 @@ from time import perf_counter
 import numpy as np
 
 from repro.analytics.frontier import adjacencies_of, vertex_space
+from repro.analytics.wedges import canonical_edge_keys, closing_wedges, split_keys, symmetric_csr
 from repro.util.errors import ValidationError
 
 __all__ = [
     "triangle_count_hash",
     "triangle_count_sorted",
     "triangle_count_csr",
+    "undirected_triangles",
     "dynamic_triangle_count",
     "DynamicTCStep",
 ]
@@ -140,7 +142,10 @@ def triangle_count_sorted(row_ptr: np.ndarray, col_idx: np.ndarray) -> int:
 
     For each undirected edge (u, v) with deg(u) <= deg(v), every neighbor
     of u is binary-searched in the globally sorted edge list — the
-    vectorized equivalent of walking two sorted lists.
+    vectorized equivalent of walking two sorted lists.  The probe step is
+    the shared :func:`repro.analytics.wedges.closing_wedges` kernel (also
+    driven by the incremental stream TC), which charges one
+    ``sorted_probes`` per probe.
     """
     n = row_ptr.shape[0] - 1
     deg = np.diff(row_ptr)
@@ -155,30 +160,29 @@ def triangle_count_sorted(row_ptr: np.ndarray, col_idx: np.ndarray) -> int:
     u, v = u[keep], v[keep]
     if u.size == 0:
         return 0
-    swap = deg[u] > deg[v]
-    small = np.where(swap, v, u)
-    big = np.where(swap, u, v)
-
-    lens = deg[small]
-    starts = row_ptr[small]
-    m = int(lens.sum())
-    if m == 0:
-        return 0
-    flat = (
-        np.arange(m, dtype=np.int64)
-        - np.repeat(np.concatenate([[0], np.cumsum(lens)[:-1]]), lens)
-        + np.repeat(starts, lens)
-    )
-    w = col_idx[flat].astype(np.int64)
-    probe = (np.repeat(big, lens).astype(np.int64) << np.int64(32)) | w
-    from repro.gpusim.counters import get_counters
-
-    get_counters().add("sorted_probes", int(probe.size))
-    loc = np.searchsorted(comp, probe)
-    safe = np.minimum(loc, comp.shape[0] - 1)
-    found = (loc < comp.shape[0]) & (comp[safe] == probe)
-    triangles = int(found.sum())
+    triangles = closing_wedges(row_ptr, col_idx, comp, u, v)
     return triangles // 3
+
+
+def undirected_triangles(graph) -> int:
+    """Triangle count of the *undirected view* of any graph or snapshot.
+
+    The cold reference kernel for streaming scenarios: directed edge sets
+    (the scenario graphs) are first reduced to canonical undirected edges
+    and symmetrized — paying the O(2E log 2E) sort the incremental stream
+    TC avoids via snapshot delta-merge — then counted through the shared
+    wedge-closure kernel.  On an already-symmetric simple graph this
+    equals :func:`triangle_count_csr`.
+    """
+    from repro.api.snapshot import as_snapshot
+
+    snap = as_snapshot(graph)
+    canonical = canonical_edge_keys(snap.sources(), snap.col_idx)
+    if canonical.size == 0:
+        return 0
+    row_ptr, col_idx, comp = symmetric_csr(canonical, snap.num_vertices)
+    u, v = split_keys(canonical)
+    return closing_wedges(row_ptr, col_idx, comp, u, v) // 3
 
 
 def triangle_count_csr(graph) -> int:

@@ -248,6 +248,7 @@ class Graph:
 
     @property
     def weighted(self) -> bool:
+        """Whether this instance stores per-edge weights."""
         return bool(self.backend.weighted)
 
     @property
@@ -354,6 +355,7 @@ class Graph:
     # -- queries --------------------------------------------------------------------
 
     def edge_exists(self, src, dst) -> np.ndarray:
+        """Boolean membership per ``(src, dst)`` pair (batched probe)."""
         src = as_int_array(src, "src")
         dst = as_int_array(dst, "dst")
         check_equal_length(("src", src), ("dst", dst))
@@ -364,6 +366,7 @@ class Graph:
         return self.backend.edge_exists(src, dst)
 
     def edge_weights(self, src, dst) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pair ``(found, weight)`` arrays; weight is 0 where absent."""
         src = as_int_array(src, "src")
         dst = as_int_array(dst, "dst")
         check_equal_length(("src", src), ("dst", dst))
@@ -374,6 +377,7 @@ class Graph:
         return self.backend.edge_weights(src, dst)
 
     def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
+        """One vertex's ``(destinations, weights)`` adjacency arrays."""
         v = int(vertex)
         check_in_range(np.array([v]), 0, self.num_vertices, "vertex")
         return self.backend.neighbors(v)
@@ -387,15 +391,19 @@ class Graph:
         return self.backend.degree(vertex_ids)
 
     def num_edges(self) -> int:
+        """Live edge count (directed slot count for directed backends)."""
         return int(self.backend.num_edges())
 
     def memory_bytes(self) -> int:
+        """Modeled resident bytes of the backend structure."""
         return int(self.backend.memory_bytes())
 
     def export_coo(self) -> COO:
+        """Unsorted COO export of the live edge set (cold full scan)."""
         return self.backend.export_coo()
 
     def sorted_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vertex-sorted ``(offsets, destinations)`` CSR arrays."""
         return self.backend.sorted_adjacency()
 
     def snapshot(self) -> CSRSnapshot:
@@ -440,6 +448,9 @@ class Graph:
     # -- maintenance -------------------------------------------------------------------
 
     def rehash(self, vertex_ids=None, load_factor: float | None = None) -> int:
+        """Rebuild hash structures toward ``load_factor``; returns the
+        number of rebuilt vertices (capability-gated; publishes a
+        structural event, so subscribers rebuild cold)."""
         self._require("rehash")
         before = self.mutation_version
         rebuilt = int(self.backend.rehash(vertex_ids, load_factor))
@@ -447,6 +458,8 @@ class Graph:
         return rebuilt
 
     def flush_tombstones(self, vertex_ids=None) -> None:
+        """Compact deletion tombstones (capability-gated; publishes a
+        structural event, so subscribers rebuild cold)."""
         self._require("tombstone_flush")
         before = self.mutation_version
         self.backend.flush_tombstones(vertex_ids)

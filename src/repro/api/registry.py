@@ -63,6 +63,7 @@ class BackendSpec:
 
     @property
     def capabilities(self) -> Capabilities:
+        """Class-level capability flags (resolves a lazy loader)."""
         return self.cls().capabilities
 
 

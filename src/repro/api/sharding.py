@@ -128,6 +128,7 @@ class ShardCosts:
         self.calls += 1
 
     def copy(self) -> "ShardCosts":
+        """Independent snapshot of the accumulated cost counters."""
         out = ShardCosts(self.num_shards)
         out.parallel_seconds = self.parallel_seconds
         out.serial_seconds = self.serial_seconds
@@ -253,18 +254,22 @@ class ShardedGraph:
 
     @property
     def num_shards(self) -> int:
+        """Number of shard instances behind the router."""
         return len(self.shards)
 
     @property
     def num_vertices(self) -> int:
+        """Global vertex-id space (each shard owns a hash slice of it)."""
         return self.shards[0].num_vertices
 
     @property
     def weighted(self) -> bool:
+        """Whether the shards store per-edge weights (uniform)."""
         return self.shards[0].weighted
 
     @property
     def directed(self) -> bool:
+        """Sharded services are directed (cut edges are source-owned)."""
         return True
 
     @property
@@ -353,6 +358,7 @@ class ShardedGraph:
         return added
 
     def delete_edges(self, src, dst) -> int:
+        """Route a deletion batch to owner shards; returns removed count."""
         src, dst, _ = self._normalize(src, dst, None, fill_default_weight=False)
         if src.size == 0:
             return 0
@@ -444,6 +450,7 @@ class ShardedGraph:
     # -- queries (scatter-gather) ----------------------------------------------------
 
     def edge_exists(self, src, dst) -> np.ndarray:
+        """Boolean membership per pair, scatter-gathered from owners."""
         src = as_int_array(src, "src")
         dst = as_int_array(dst, "dst")
         check_equal_length(("src", src), ("dst", dst))
@@ -462,6 +469,7 @@ class ShardedGraph:
         return out
 
     def edge_weights(self, src, dst) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pair ``(found, weight)``, scatter-gathered from owners."""
         src = as_int_array(src, "src")
         dst = as_int_array(dst, "dst")
         check_equal_length(("src", src), ("dst", dst))
@@ -497,6 +505,7 @@ class ShardedGraph:
         return out
 
     def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
+        """One vertex's adjacency, served by its owner shard alone."""
         v = int(vertex)
         check_in_range(np.array([v]), 0, self.num_vertices, "vertex")
         shard = self.shards[int(self.partitioner.shard_of(np.array([v]))[0])]
@@ -536,12 +545,15 @@ class ShardedGraph:
         return pos[order], dsts[order], ws[order]
 
     def num_edges(self) -> int:
+        """Global edge count (shards partition the edge set)."""
         return sum(shard.num_edges() for shard in self.shards)
 
     def memory_bytes(self) -> int:
+        """Total modeled resident bytes across all shards."""
         return sum(shard.memory_bytes() for shard in self.shards)
 
     def export_coo(self) -> COO:
+        """Concatenated unsorted COO export of every shard's edges."""
         parts = [shard.export_coo() for shard in self.shards]
         weighted = self.weighted
         return COO(

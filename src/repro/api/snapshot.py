@@ -56,6 +56,7 @@ class CSRSnapshot:
 
     @classmethod
     def from_coo(cls, coo: COO) -> "CSRSnapshot":
+        """Cold-build a sorted CSR from COO (charges the O(E log E) sort)."""
         # The cold-build lexsort is the whole-edge-set sort whose absence
         # the cached/incremental paths are measured against; charge it so
         # the device model prices cold vs. cached snapshots honestly.
@@ -74,7 +75,14 @@ class CSRSnapshot:
 
     @property
     def num_edges(self) -> int:
+        """Edge (CSR row) count."""
         return int(self.col_idx.shape[0])
+
+    @property
+    def weighted(self) -> bool:
+        """True when the snapshot carries per-edge weights (lets weighted
+        kernels like :func:`repro.analytics.sssp` accept a bare snapshot)."""
+        return self.weights is not None
 
     def out_degrees(self) -> np.ndarray:
         """Out-degree per vertex id."""
@@ -87,9 +95,43 @@ class CSRSnapshot:
         return np.repeat(np.arange(self.num_vertices, dtype=np.int64), np.diff(self.row_ptr))
 
     def weights_or_zeros(self) -> np.ndarray:
+        """Weights array, or zeros for an unweighted snapshot."""
         if self.weights is not None:
             return self.weights
         return np.zeros(self.num_edges, dtype=np.int64)
+
+    def adjacencies(self, vertex_ids) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched adjacency gather ``(owner_pos, destinations, weights)``.
+
+        Same contract as :meth:`repro.api.GraphBackend.adjacencies` —
+        ``owner_pos[i]`` indexes the requested vertex that owns edge ``i``
+        — so frontier kernels (:func:`repro.analytics.bfs`,
+        :func:`repro.analytics.sssp`) traverse a snapshot with vectorized
+        row gathers instead of per-vertex ``neighbors`` calls.  Charges
+        the device model for the gather (one launch + the copied rows),
+        making snapshot traversals priceable by the stream bench.
+        """
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        lens = np.diff(self.row_ptr)[vertex_ids]
+        starts = self.row_ptr[vertex_ids]
+        m = int(lens.sum())
+        counters = get_counters()
+        counters.kernel_launches += 1
+        counters.bytes_copied += int(vertex_ids.shape[0]) * 8 + m * (
+            16 if self.weights is not None else 8
+        )
+        if m == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy(), e.copy()
+        flat = (
+            np.arange(m, dtype=np.int64)
+            - np.repeat(np.concatenate([[0], np.cumsum(lens)[:-1]]), lens)
+            + np.repeat(starts, lens)
+        )
+        owner_pos = np.repeat(np.arange(vertex_ids.shape[0], dtype=np.int64), lens)
+        dst = self.col_idx[flat]
+        w = self.weights[flat] if self.weights is not None else np.zeros(m, dtype=np.int64)
+        return owner_pos, dst, w
 
     def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
         """Sorted (destinations, weights) slice for one vertex (views)."""
@@ -100,6 +142,7 @@ class CSRSnapshot:
         return self.col_idx[lo:hi], np.zeros(hi - lo, dtype=np.int64)
 
     def to_coo(self) -> COO:
+        """COO expansion (copied arrays; round-trips through from_coo)."""
         return COO(
             self.sources(),
             self.col_idx.copy(),

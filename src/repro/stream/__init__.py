@@ -11,8 +11,12 @@ package makes that workload a first-class object:
 - :mod:`repro.stream.incremental` — analytics that subscribe to the
   facade's per-batch edge deltas and update in O(batch) instead of
   recomputing from scratch: :class:`IncrementalConnectedComponents`
-  (union-find, cold re-label on deletions/vertex ops) and
-  :class:`IncrementalPageRank` (warm-start power iteration).
+  (union-find, cold re-label on deletions/vertex ops),
+  :class:`IncrementalPageRank` (warm-start power iteration),
+  :class:`IncrementalTriangleCount` (wedge closure of new edges against
+  the cached symmetric CSR), :class:`IncrementalBFS` /
+  :class:`IncrementalSSSP` (frontier re-relaxation seeded from the
+  delta), and :class:`IncrementalKCore` (region-bounded peeling repair).
 
 The ``t11`` bench artifact (:mod:`repro.bench.stream_bench`) prices the
 incremental compute phases against the full-recompute baseline the other
@@ -26,10 +30,15 @@ so a paused or crashed run resumes bit-identically.
 from repro.stream.durable import run_scenario_durable
 from repro.stream.incremental import (
     IncrementalAnalytic,
+    IncrementalBFS,
     IncrementalConnectedComponents,
+    IncrementalKCore,
     IncrementalPageRank,
+    IncrementalSSSP,
+    IncrementalTriangleCount,
 )
 from repro.stream.scenario import (
+    ANALYTICS,
     FAMILIES,
     PHASE_KINDS,
     Phase,
@@ -45,11 +54,16 @@ from repro.stream.scenario import (
 )
 
 __all__ = [
+    "ANALYTICS",
     "FAMILIES",
     "PHASE_KINDS",
     "IncrementalAnalytic",
+    "IncrementalBFS",
     "IncrementalConnectedComponents",
+    "IncrementalKCore",
     "IncrementalPageRank",
+    "IncrementalSSSP",
+    "IncrementalTriangleCount",
     "Phase",
     "PhaseResult",
     "Scenario",

@@ -109,6 +109,9 @@ def run_scenario_durable(
     max_iters: int = 100,
     prime: bool = True,
     validate: bool = False,
+    analytics: tuple = ("cc", "pagerank"),
+    source: int = 0,
+    kcore_k: int = 3,
     stop_after_phase: int | None = None,
     fsync: str = "batch",
     segment_bytes: int | None = None,
@@ -168,7 +171,10 @@ def run_scenario_durable(
 
     try:
         g = dg.graph
-        compute_once, inc_cc, inc_pr = _compute_setup(g, mode, damping, tol, max_iters, prime)
+        compute_once, incs = _compute_setup(
+            g, mode, damping, tol, max_iters, prime,
+            analytics=analytics, source=source, kcore_k=kcore_k,
+        )
         if resumed and next_phase < len(scenario.phases):
             # The WAL may hold a partial phase the crash interrupted; the
             # re-run about to happen duplicates those records, which is
@@ -180,9 +186,7 @@ def run_scenario_durable(
             phase = scenario.phases[index]
             results.append(_execute_phase(index, phase, g, coo, rng, scenario, compute_once))
             if validate and mode == "incremental":
-                _validate_exactness(
-                    g, inc_cc, inc_pr, damping, tol, max_iters, (scenario.name, index)
-                )
+                _validate_exactness(g, incs, damping, tol, max_iters, (scenario.name, index))
             dg.sync()  # the phase's WAL records must be durable ...
             _write_progress(progress_path, identity, index + 1, rng, results)
             # ... before the progress file claims the phase completed.

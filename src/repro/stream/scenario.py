@@ -17,10 +17,15 @@ Compute phases run in one of two modes:
   components and PageRank from scratch;
 - ``mode="incremental"`` — the facade's delta-merged snapshot plus the
   delta-aware analytics of :mod:`repro.stream.incremental`
-  (O(batch α) union-find updates, warm-started PageRank sweeps).
+  (O(batch α) union-find updates, warm-started PageRank sweeps, wedge
+  closure of new edges, seeded distance re-relaxation, region-bounded
+  k-core repair).
 
-Both modes are deterministic for a fixed scenario seed, so the ``t11``
-bench artifact can gate their modeled-cost ratio in CI.
+Which analytics a compute phase runs is the scenario runner's
+``analytics`` selection — any subset of :data:`ANALYTICS` — and each
+compute phase records a per-analytic modeled-cost slice, so the ``t11``
+bench artifact can price and gate every family member separately.  Both
+modes are deterministic for a fixed scenario seed.
 """
 
 from __future__ import annotations
@@ -30,18 +35,30 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.analytics.bfs import bfs
 from repro.analytics.connected_components import connected_components
+from repro.analytics.kcore import kcore_membership
 from repro.analytics.pagerank import power_iteration
+from repro.analytics.sssp import sssp
+from repro.analytics.triangle_count import undirected_triangles
 from repro.api.facade import Graph
 from repro.api.snapshot import CSRSnapshot
 from repro.coo import COO
 from repro.datasets import powerlaw_graph, rgg_graph, rmat_graph, road_graph
 from repro.gpusim.counters import get_counters
 from repro.gpusim.model import simulated_seconds
-from repro.stream.incremental import IncrementalConnectedComponents, IncrementalPageRank
+from repro.stream.incremental import (
+    IncrementalBFS,
+    IncrementalConnectedComponents,
+    IncrementalKCore,
+    IncrementalPageRank,
+    IncrementalSSSP,
+    IncrementalTriangleCount,
+)
 from repro.util.errors import ValidationError
 
 __all__ = [
+    "ANALYTICS",
     "PHASE_KINDS",
     "FAMILIES",
     "Phase",
@@ -58,6 +75,9 @@ __all__ = [
 
 #: Everything a phase can do to the graph.
 PHASE_KINDS = ("insert", "delete", "vertex_churn", "query", "compute")
+
+#: Every analytic a compute phase can run (the delta-aware family).
+ANALYTICS = ("cc", "pagerank", "tc", "bfs", "sssp", "kcore")
 
 #: Dataset families a scenario can seed from (Table I generators).
 FAMILIES = ("rmat", "powerlaw", "road", "rgg")
@@ -176,9 +196,11 @@ class ScenarioResult:
         return sum(p.model_seconds for p in self.phases if kind is None or p.kind == kind)
 
     def compute_phases(self) -> list:
+        """The compute-phase results, in schedule order."""
         return [p for p in self.phases if p.kind == "compute"]
 
     def mean_compute_model_seconds(self) -> float:
+        """Mean modeled device seconds per compute phase (0.0 if none)."""
         phases = self.compute_phases()
         if not phases:
             return 0.0
@@ -195,16 +217,23 @@ def run_scenario(
     max_iters: int = 100,
     prime: bool = True,
     validate: bool = False,
+    analytics: tuple = ("cc", "pagerank"),
+    source: int = 0,
+    kcore_k: int = 3,
 ) -> ScenarioResult:
     """Execute a scenario against one backend; returns per-phase records.
 
-    ``prime`` runs one untimed compute before phase 0 so per-phase costs
-    measure the steady state (the incremental analytics' one-off cold
-    initialization is setup, not workload).  ``validate`` re-derives the
-    cold reference after *every* phase in incremental mode and asserts
-    the incremental answers are exact (CC) / within ``tol`` per vertex
-    (PageRank) — for tests, not benches (validation work is excluded
-    from the phase's timing and counters).
+    ``analytics`` selects which family members every compute phase runs
+    (any subset of :data:`ANALYTICS`; ``"sssp"`` needs a weighted
+    scenario); ``source`` seeds bfs/sssp and ``kcore_k`` sets the k-core
+    threshold.  ``prime`` runs one untimed compute before phase 0 so
+    per-phase costs measure the steady state (the incremental analytics'
+    one-off cold initialization is setup, not workload).  ``validate``
+    re-derives the cold reference after *every* phase in incremental
+    mode and asserts the incremental answers are exact (everything but
+    PageRank) / within ``tol`` per vertex (PageRank) — for tests, not
+    benches (validation work is excluded from the phase's timing and
+    counters).
     """
     if mode not in ("incremental", "full"):
         raise ValidationError(f"mode must be 'incremental' or 'full', got {mode!r}")
@@ -217,46 +246,120 @@ def run_scenario(
     g = Graph.create(backend_name, num_vertices=n, weighted=scenario.weighted)
     g.bulk_build(coo)
 
-    compute_once, inc_cc, inc_pr = _compute_setup(g, mode, damping, tol, max_iters, prime)
+    compute_once, incs = _compute_setup(
+        g, mode, damping, tol, max_iters, prime,
+        analytics=analytics, source=source, kcore_k=kcore_k,
+    )
     rng = np.random.default_rng(scenario.seed + 0x51AB)
 
     results: list = []
     for index, phase in enumerate(scenario.phases):
         results.append(_execute_phase(index, phase, g, coo, rng, scenario, compute_once))
         if validate and mode == "incremental":
-            _validate_exactness(g, inc_cc, inc_pr, damping, tol, max_iters, (scenario.name, index))
+            _validate_exactness(g, incs, damping, tol, max_iters, (scenario.name, index))
     return ScenarioResult(scenario=scenario, backend=backend_name, mode=mode, phases=results)
 
 
-def _compute_setup(g, mode, damping, tol, max_iters, prime):
-    """``(compute_once, inc_cc, inc_pr)`` for one run: the compute-phase
-    closure plus the incremental analytics it drives (None in full mode).
-    Shared with :mod:`repro.stream.durable`."""
-    inc_cc = inc_pr = None
+def _query_analytic(name, obj):
+    """Run one incremental analytic's query method; returns its answer."""
+    if name == "cc":
+        return obj.labels()
+    if name == "pagerank":
+        return obj.compute()
+    if name == "tc":
+        return obj.count()
+    if name in ("bfs", "sssp"):
+        return obj.distances()
+    return obj.members()  # kcore
+
+
+def _compute_setup(
+    g, mode, damping, tol, max_iters, prime,
+    *, analytics=("cc", "pagerank"), source=0, kcore_k=3,
+):
+    """``(compute_once, incs)`` for one run: the compute-phase closure
+    plus the incremental analytics it drives, keyed by analytic name
+    (empty in full mode).  Shared with :mod:`repro.stream.durable`.
+
+    ``compute_once`` details carry ``modes`` (per-analytic last_mode),
+    ``analytic_model`` (per-analytic modeled seconds), and
+    ``snapshot_model`` (the shared snapshot build/merge slice), plus the
+    legacy ``cc_mode`` / ``pr_mode`` / ``pr_sweeps`` keys when those
+    analytics are selected.
+    """
+    analytics = tuple(analytics)
+    for name in analytics:
+        if name not in ANALYTICS:
+            raise ValidationError(f"unknown analytic {name!r}; pick from {ANALYTICS}")
+    if "sssp" in analytics and not g.weighted:
+        raise ValidationError("the 'sssp' analytic needs a weighted scenario")
+    incs: dict = {}
     if mode == "incremental":
-        inc_cc = IncrementalConnectedComponents(g)
-        inc_pr = IncrementalPageRank(g, damping=damping, tol=tol, max_iters=max_iters)
+        for name in analytics:
+            if name == "cc":
+                incs[name] = IncrementalConnectedComponents(g)
+            elif name == "pagerank":
+                incs[name] = IncrementalPageRank(
+                    g, damping=damping, tol=tol, max_iters=max_iters
+                )
+            elif name == "tc":
+                incs[name] = IncrementalTriangleCount(g)
+            elif name == "bfs":
+                incs[name] = IncrementalBFS(g, source=source)
+            elif name == "sssp":
+                incs[name] = IncrementalSSSP(g, source=source)
+            else:
+                incs[name] = IncrementalKCore(g, k=kcore_k)
         if prime:
-            inc_pr.compute()
+            for name in analytics:
+                _query_analytic(name, incs[name])
 
     def compute_once() -> dict:
+        counters = get_counters()
+        detail: dict = {"modes": {}, "analytic_model": {}}
+        # The shared snapshot slice: the delta merge (incremental) or the
+        # cold export + O(E log E) sort (full) every analytic then reads.
+        before = counters.snapshot()
         if mode == "incremental":
-            inc_cc.labels()
-            inc_pr.compute()
-            return {
-                "cc_mode": inc_cc.last_mode,
-                "pr_mode": inc_pr.last_mode,
-                "pr_sweeps": inc_pr.last_sweeps,
-            }
-        # Full-recompute baseline: cold export + cold sort + cold kernels.
-        snap = CSRSnapshot.from_coo(g.export_coo())
-        connected_components(snap)
-        n = g.num_vertices
-        uniform = np.full(n, 1.0 / n, dtype=np.float64)
-        _, sweeps = power_iteration(snap, uniform, damping=damping, tol=tol, max_iters=max_iters)
-        return {"cc_mode": "cold", "pr_mode": "cold", "pr_sweeps": sweeps}
+            snap = g.snapshot()
+        else:
+            snap = CSRSnapshot.from_coo(g.export_coo())
+        detail["snapshot_model"] = simulated_seconds(counters.diff(before))
+        for name in analytics:
+            before = counters.snapshot()
+            if mode == "incremental":
+                obj = incs[name]
+                _query_analytic(name, obj)
+                detail["modes"][name] = obj.last_mode
+                if name == "pagerank":
+                    detail["pr_sweeps"] = obj.last_sweeps
+            else:
+                if name == "cc":
+                    connected_components(snap)
+                elif name == "pagerank":
+                    n = g.num_vertices
+                    uniform = np.full(n, 1.0 / n, dtype=np.float64)
+                    _, sweeps = power_iteration(
+                        snap, uniform, damping=damping, tol=tol, max_iters=max_iters
+                    )
+                    detail["pr_sweeps"] = sweeps
+                elif name == "tc":
+                    undirected_triangles(snap)
+                elif name == "bfs":
+                    bfs(snap, source)
+                elif name == "sssp":
+                    sssp(snap, source)
+                else:
+                    kcore_membership(snap, kcore_k)
+                detail["modes"][name] = "cold"
+            detail["analytic_model"][name] = simulated_seconds(counters.diff(before))
+        if "cc" in analytics:
+            detail["cc_mode"] = detail["modes"]["cc"]
+        if "pagerank" in analytics:
+            detail["pr_mode"] = detail["modes"]["pagerank"]
+        return detail
 
-    return compute_once, inc_cc, inc_pr
+    return compute_once, incs
 
 
 def _execute_phase(index, phase, g, coo, rng, scenario, compute_once) -> PhaseResult:
@@ -318,34 +421,57 @@ def _execute_phase(index, phase, g, coo, rng, scenario, compute_once) -> PhaseRe
     )
 
 
-def _validate_exactness(g, inc_cc, inc_pr, damping, tol, max_iters, ctx) -> None:
-    """Assert the incremental answers equal cold recomputation right now."""
+def _validate_exactness(g, incs, damping, tol, max_iters, ctx) -> None:
+    """Assert every incremental answer equals cold recomputation right now.
+
+    Exact equality for everything but PageRank (whose contract is within
+    ``tol`` per vertex of the cold power iteration).
+    """
     snap = CSRSnapshot.from_coo(g.backend.export_coo())
-    cold_labels = connected_components(snap)
-    got_labels = inc_cc.labels()
-    if not np.array_equal(got_labels, cold_labels):
-        raise AssertionError(f"incremental CC labels diverged from cold re-label at {ctx}")
-    uniform = np.full(snap.num_vertices, 1.0 / snap.num_vertices, dtype=np.float64)
-    cold_ranks, _ = power_iteration(snap, uniform, damping=damping, tol=tol, max_iters=max_iters)
-    got_ranks = inc_pr.compute()
-    if not np.allclose(got_ranks, cold_ranks, atol=tol, rtol=0.0):
-        worst = float(np.abs(got_ranks - cold_ranks).max())
-        raise AssertionError(
-            f"incremental PageRank diverged from cold recompute at {ctx}: max |Δ| = {worst:g}"
-        )
+    for name, inc in incs.items():
+        got = _query_analytic(name, inc)
+        if name == "cc":
+            cold = connected_components(snap)
+            ok = np.array_equal(got, cold)
+        elif name == "pagerank":
+            uniform = np.full(snap.num_vertices, 1.0 / snap.num_vertices, dtype=np.float64)
+            cold, _ = power_iteration(
+                snap, uniform, damping=damping, tol=tol, max_iters=max_iters
+            )
+            ok = np.allclose(got, cold, atol=tol, rtol=0.0)
+        elif name == "tc":
+            cold = undirected_triangles(snap)
+            ok = got == cold
+        elif name == "bfs":
+            ok = np.array_equal(got, bfs(snap, inc.source))
+        elif name == "sssp":
+            ok = np.array_equal(got, sssp(snap, inc.source))
+        else:
+            ok = np.array_equal(got, kcore_membership(snap, inc.k))
+        if not ok:
+            raise AssertionError(
+                f"incremental {name!r} diverged from cold recompute at {ctx}"
+            )
 
 
 # -- scenario catalog -----------------------------------------------------------------
 
 
 def insert_heavy_scenario(
-    num_edges: int = 1 << 18, *, batch: int = 1 << 9, rounds: int = 3, seed: int = 0
+    num_edges: int = 1 << 18,
+    *,
+    batch: int = 1 << 9,
+    rounds: int = 3,
+    seed: int = 0,
+    weighted: bool = False,
 ) -> Scenario:
     """Insert bursts interleaved with compute probes (rmat seed graph).
 
     The paper's dominant streaming pattern — and the ``t11`` quick gate's
     scenario at ``num_edges=2**18``: per round, two ``batch``-edge insert
-    bursts, a query probe, then a compute phase.
+    bursts, a query probe, then a compute phase.  ``weighted=True``
+    attaches edge weights (needed for the ``sssp`` analytic) and tags the
+    scenario name so both variants can share a bench panel.
     """
     num_vertices = max(num_edges // 4, 64)
     phases = []
@@ -355,13 +481,15 @@ def insert_heavy_scenario(
             Phase("query", size=max(batch // 2, 1)),
             Phase("compute"),
         ]
+    tag = "-w" if weighted else ""
     return Scenario(
-        name=f"insert-heavy-2^{int(np.log2(num_edges))}",
+        name=f"insert-heavy{tag}-2^{int(np.log2(num_edges))}",
         family="rmat",
         num_vertices=num_vertices,
         avg_degree=num_edges / num_vertices,
         phases=tuple(phases),
         seed=seed,
+        weighted=weighted,
     )
 
 

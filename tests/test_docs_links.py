@@ -1,0 +1,70 @@
+"""The docs tree's intra-repo markdown links must resolve.
+
+Runs the stdlib link checker (``tools/check_markdown_links.py``) over
+README/CHANGES/ROADMAP and ``docs/`` as part of tier-1, so a renamed
+file or a typoed relative path fails CI instead of shipping a dead link.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+CHECKER = ROOT / "tools" / "check_markdown_links.py"
+
+
+def _load_checker():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("check_markdown_links", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_markdown_links_resolve():
+    mod = _load_checker()
+    problems = mod.broken_links(ROOT)
+    assert problems == [], "broken markdown links:\n" + "\n".join(
+        f"{md.relative_to(ROOT)}:{line}: {target}" for md, line, target in problems
+    )
+
+
+def test_docs_tree_is_covered():
+    mod = _load_checker()
+    covered = {p.relative_to(ROOT).as_posix() for p in mod.markdown_files(ROOT)}
+    assert "README.md" in covered
+    assert "docs/architecture.md" in covered
+    assert "docs/analytics.md" in covered
+    assert "docs/benchmarks.md" in covered
+
+
+def test_checker_flags_broken_and_escaping_links(tmp_path):
+    mod = _load_checker()
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (tmp_path / "README.md").write_text(
+        "[ok](docs/a.md)\n"
+        "[dead](docs/missing.md)\n"
+        "[out](../outside.md)\n"
+        "[web](https://example.com)\n"
+        "[anchor](#section)\n"
+        "```\n[fenced](docs/also-missing.md)\n```\n"
+    )
+    (docs / "a.md").write_text("[up](../README.md)\n[anchored](a.md#top)\n")
+    problems = mod.broken_links(tmp_path)
+    targets = sorted(t for _, _, t in problems)
+    assert targets == ["../outside.md", "docs/missing.md"]
+
+
+def test_cli_exit_codes(tmp_path):
+    (tmp_path / "README.md").write_text("[dead](nope.md)\n")
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), str(tmp_path)], capture_output=True, text=True
+    )
+    assert proc.returncode == 1
+    assert "nope.md" in proc.stdout
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), str(ROOT)], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stdout

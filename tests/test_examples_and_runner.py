@@ -39,6 +39,16 @@ def test_streaming_incremental_example_runs(capsys):
     assert "speedup" in out
 
 
+def test_incremental_family_example_runs(capsys):
+    run_example("incremental_analytics_family.py")
+    out = capsys.readouterr().out
+    assert "all six incremental analytics verified exact after every phase" in out
+    assert "family speedup" in out
+    # The deletion window forces every analytic cold; inserts fold warm.
+    assert "(cold)" in out
+    assert "(incremental)" in out
+
+
 def test_sharded_service_example_runs(capsys):
     run_example("sharded_service.py")
     out = capsys.readouterr().out

@@ -332,15 +332,24 @@ class TestCompositeKeyGuard:
 
 
 def test_committed_quick_baseline_gates_insert_heavy_speedup():
-    """The t11 quick gate: ≥ 3x incremental speedup at |E| = 2^18."""
+    """The t11 quick gate: ≥ 3x incremental speedup at |E| = 2^18 — for
+    the aggregate compute phase and for every family member's slice
+    (tc/bfs/kcore on the unweighted scenario, sssp on the weighted one)."""
+    from repro.bench.stream_bench import QUICK_STREAM_BACKENDS
+
     path = Path(__file__).resolve().parent.parent / "benchmarks/baselines/BENCH_baseline_quick.json"
     doc = json.loads(path.read_text())
     metrics = {r["metric"]: r["value"] for a in doc["artifacts"] for r in a.get("results", [])}
     gate = [
         k for k in metrics if k.startswith("t11/insert-heavy-2^18/") and k.endswith("/speedup")
     ]
+    for name in QUICK_STREAM_BACKENDS:
+        for analytic in ("tc", "bfs", "kcore"):
+            gate.append(f"t11/insert-heavy-2^18/{name}/{analytic}_speedup")
+        gate.append(f"t11/insert-heavy-w-2^18/{name}/sssp_speedup")
     assert gate, "t11 insert-heavy speedup metrics missing from the quick baseline"
     for key in gate:
+        assert key in metrics, f"{key} missing from the quick baseline"
         assert metrics[key] >= 3.0, (key, metrics[key])
 
 
@@ -353,3 +362,7 @@ def test_stream_artifact_quick_structure():
     assert any(k.startswith("t11/insert-heavy-2^18/slabhash/") for k in keys)
     for name in SB.MIXED_BACKENDS:
         assert f"t11/mixed-2^9/{name}/speedup" in keys
+    for name in SB.QUICK_STREAM_BACKENDS:
+        for analytic in SB.FAMILY_ANALYTICS:
+            assert f"t11/insert-heavy-2^18/{name}/{analytic}_speedup" in keys
+        assert f"t11/insert-heavy-w-2^18/{name}/sssp_speedup" in keys

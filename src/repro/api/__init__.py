@@ -51,18 +51,37 @@ from repro.api.registry import (
     get_spec,
     register,
 )
-from repro.api.sharding import Partitioner, ShardedGraph
+from repro.api.sharding import (
+    SHARD_DEAD,
+    SHARD_DEGRADED,
+    SHARD_HEALTHY,
+    DegradedSnapshot,
+    DispatchReport,
+    PartialDispatchError,
+    Partitioner,
+    RetryPolicy,
+    ShardedGraph,
+    ShardError,
+)
 from repro.api.snapshot import CSRSnapshot, as_snapshot, cached_snapshot, merge_csr_delta
 
 __all__ = [
     "BackendSpec",
     "Capabilities",
     "CSRSnapshot",
+    "DegradedSnapshot",
     "DegreeView",
+    "DispatchReport",
     "Graph",
     "GraphBackend",
     "MAX_PACKABLE_VERTICES",
+    "PartialDispatchError",
     "Partitioner",
+    "RetryPolicy",
+    "SHARD_DEAD",
+    "SHARD_DEGRADED",
+    "SHARD_HEALTHY",
+    "ShardError",
     "ShardedGraph",
     "as_snapshot",
     "backend_names",

@@ -30,13 +30,28 @@ merge), so ``pagerank`` / ``connected_components`` / triangle counting
 run unchanged — and bit-identical to the same workload applied to a
 single ``Graph``.
 
+Robustness (see ``docs/robustness.md``): every shard carries a health
+state (``"healthy"`` / ``"degraded"`` / ``"dead"``).  Transient shard
+faults are retried with bounded modeled backoff (:class:`RetryPolicy`);
+a permanent fault marks the shard dead.  A mutation that fails on some
+shards reports **exactly which shards applied** (:class:`DispatchReport`)
+and is re-driveable via :meth:`ShardedGraph.redrive`; the router
+publishes a structural ``"partial_dispatch"`` event so snapshot-merge and
+incremental-analytics consumers rebuild cold instead of silently
+diverging.  Reads survive dead shards through
+:meth:`ShardedGraph.degraded_snapshot`, which serves each dead shard's
+last cached per-shard snapshot tagged with staleness, and a dead shard is
+restored **bit-identically** from its durable per-shard WAL by
+:meth:`ShardedGraph.rebuild_shard` (after :meth:`attach_durability`).
+
 Cost accounting: shard dispatches are independent, so the device model
 prices an update batch as *router overhead + the slowest shard*
 (:attr:`ShardedGraph.update_costs` ``.parallel_seconds``) alongside the
-total work across shards (``.serial_seconds``).  The ``t12/shard`` bench
-artifact reports aggregate update throughput under the parallel model vs.
-shard count, and the scatter-gather work inflation queries pay for the
-same answers — the cross-shard query tax.
+total work across shards (``.serial_seconds``).  Retry backoff is modeled
+time, charged to the faulting shard — so chaos runs price their own
+recovery overhead deterministically.  The ``t12/shard`` bench artifact
+reports aggregate update throughput under the parallel model vs. shard
+count; ``t14/chaos`` prices degraded reads and WAL-replay recovery.
 """
 
 from __future__ import annotations
@@ -57,14 +72,135 @@ from repro.coo import COO
 from repro.eventlog import EventLog
 from repro.gpusim.counters import counting, get_counters
 from repro.gpusim.model import simulated_seconds
-from repro.util.errors import ValidationError
+from repro.util.errors import (
+    FaultError,
+    PermanentFault,
+    ReproError,
+    TransientFault,
+    ValidationError,
+)
 from repro.util.validation import as_int_array, check_equal_length, check_in_range
 
-__all__ = ["Partitioner", "ShardedGraph", "ShardCosts"]
+__all__ = [
+    "Partitioner",
+    "ShardedGraph",
+    "ShardCosts",
+    "ShardError",
+    "PartialDispatchError",
+    "DispatchReport",
+    "DegradedSnapshot",
+    "RetryPolicy",
+    "SHARD_HEALTHY",
+    "SHARD_DEGRADED",
+    "SHARD_DEAD",
+]
 
 #: Fibonacci multiplier (golden-ratio reciprocal in 64 bits) — spreads
 #: consecutive ids across the hash space.
 _FIB = np.uint64(0x9E3779B97F4A7C15)
+
+#: Shard health states (see the module docstring and docs/robustness.md).
+SHARD_HEALTHY = "healthy"
+SHARD_DEGRADED = "degraded"
+SHARD_DEAD = "dead"
+
+
+class ShardError(ReproError, RuntimeError):
+    """A shard failed while serving a routed operation.
+
+    Carries the shard index and the operation name so scatter-gather
+    failures are diagnosable instead of surfacing as a raw backend
+    exception with no routing context; the original fault (when there is
+    one) rides along as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, shard: int, op: str) -> None:
+        super().__init__(message)
+        #: Index of the shard that failed.
+        self.shard = int(shard)
+        #: The routed operation that was in flight.
+        self.op = op
+
+
+@dataclass(frozen=True)
+class DispatchReport:
+    """Exactly what happened to one partially-dispatched mutation.
+
+    ``applied`` / ``failed`` name the shards the batch did and did not
+    reach (``failed`` pairs each shard with the failure description);
+    ``payload`` keeps the normalized batch arrays so
+    :meth:`ShardedGraph.redrive` can re-dispatch the failed rows without
+    re-normalizing; ``result`` is the count the applied shards returned.
+    """
+
+    op: str
+    applied: tuple
+    failed: tuple
+    payload: dict
+    result: int
+
+    @property
+    def failed_shards(self) -> tuple:
+        """Just the failed shard indices, in order."""
+        return tuple(s for s, _ in self.failed)
+
+
+class PartialDispatchError(ShardError):
+    """A mutation applied on some shards and failed on others.
+
+    The attached :class:`DispatchReport` says exactly which — the batch
+    is diagnosable and re-driveable (:meth:`ShardedGraph.redrive`), never
+    silently divergent.
+    """
+
+    def __init__(self, message: str, *, shard: int, op: str, report: DispatchReport) -> None:
+        super().__init__(message, shard=shard, op=op)
+        #: Full accounting of the partial dispatch.
+        self.report = report
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient shard faults.
+
+    ``max_attempts`` counts the first try; backoff between attempts is
+    *modeled* device time (``backoff_base`` seconds, multiplied by
+    ``multiplier`` each retry) charged to the faulting shard — so chaos
+    runs stay deterministic while still pricing their recovery overhead.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 100e-6
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValidationError("backoff_base must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValidationError("multiplier must be >= 1")
+
+
+@dataclass(frozen=True)
+class DegradedSnapshot:
+    """A global snapshot assembled while some shards could not serve.
+
+    ``snapshot`` is the assembled :class:`CSRSnapshot`; ``stale_shards``
+    served their last cached per-shard snapshot (``staleness`` pairs each
+    with ``(cached_version, live_version)``); ``missing_shards`` had no
+    cached snapshot at all and contribute no edges.
+    """
+
+    snapshot: CSRSnapshot
+    stale_shards: tuple
+    missing_shards: tuple
+    staleness: tuple
+
+    @property
+    def fresh(self) -> bool:
+        """True when every shard served live (nothing stale or missing)."""
+        return not self.stale_shards and not self.missing_shards
 
 
 class Partitioner:
@@ -137,6 +273,19 @@ class ShardCosts:
         return out
 
 
+def _fresh_fault_stats() -> dict:
+    return {
+        "transient_faults": 0,
+        "permanent_faults": 0,
+        "shard_errors": 0,
+        "retries": 0,
+        "backoff_seconds": 0.0,
+        "partial_dispatches": 0,
+        "degraded_reads": 0,
+        "rebuilds": 0,
+    }
+
+
 class ShardedGraph:
     """N per-shard :class:`Graph` facades behind one batch surface.
 
@@ -150,6 +299,13 @@ class ShardedGraph:
     mirrors ``(u, v)`` into ``v``'s adjacency *inside u's shard*, which
     would scatter a vertex's neighborhood across shards and break both
     routed queries and global snapshot assembly.
+
+    ``partial_dispatch`` picks the mid-dispatch-failure policy:
+    ``"raise"`` (default) raises :class:`PartialDispatchError` carrying
+    the :class:`DispatchReport`; ``"record"`` appends the report to
+    :attr:`pending` and returns the partial result — the scenario
+    engine's choice, so a chaos phase keeps its RNG stream aligned with
+    a fault-free run and re-drives between phases.
     """
 
     def __init__(
@@ -161,6 +317,9 @@ class ShardedGraph:
         dedup_batches: bool = False,
         default_weight: int = 0,
         event_retention: int = DEFAULT_DELTA_LIMIT,
+        retry: RetryPolicy | None = None,
+        partial_dispatch: str = "raise",
+        shard_factory=None,
     ) -> None:
         shards = list(shards)
         if not shards:
@@ -189,6 +348,10 @@ class ShardedGraph:
             raise ValidationError("all shards must agree on weightedness")
         if self_loops not in ("drop", "error"):
             raise ValidationError(f"self_loops must be 'drop' or 'error', got {self_loops!r}")
+        if partial_dispatch not in ("raise", "record"):
+            raise ValidationError(
+                f"partial_dispatch must be 'raise' or 'record', got {partial_dispatch!r}"
+            )
         _check_packable(first.num_vertices)
         self.shards = shards
         self.partitioner = partitioner or Partitioner(len(shards))
@@ -207,6 +370,23 @@ class ShardedGraph:
         self.events = EventLog(retention_rows=event_retention)
         self.update_costs = ShardCosts(len(shards))
         self.query_costs = ShardCosts(len(shards))
+        #: Retry-with-backoff policy for transient shard faults.
+        self.retry = retry or RetryPolicy()
+        #: Mid-dispatch-failure policy: ``"raise"`` or ``"record"``.
+        self.partial_dispatch = partial_dispatch
+        #: Per-shard health: ``SHARD_HEALTHY`` / ``SHARD_DEGRADED`` /
+        #: ``SHARD_DEAD`` (dead shards are skipped by fan-outs and only
+        #: return via :meth:`rebuild_shard`).
+        self.health = [SHARD_HEALTHY] * len(shards)
+        #: Counters of faults absorbed, retries spent, and recoveries.
+        self.fault_stats = _fresh_fault_stats()
+        #: Recorded :class:`DispatchReport`\ s awaiting :meth:`redrive_pending`
+        #: (``partial_dispatch="record"`` mode only).
+        self.pending: list = []
+        #: Durable per-shard stores (set by :meth:`attach_durability`).
+        self.stores = None
+        self._shard_factory = shard_factory
+        self._shard_snaps: dict = {}
         self._snap_cache: tuple | None = None
 
     @classmethod
@@ -223,24 +403,29 @@ class ShardedGraph:
         snapshot_delta_limit: int = DEFAULT_DELTA_LIMIT,
         event_retention: int = DEFAULT_DELTA_LIMIT,
         partitioner: Partitioner | None = None,
+        retry: RetryPolicy | None = None,
+        partial_dispatch: str = "raise",
         **backend_kwargs: Any,
     ) -> "ShardedGraph":
         """Construct ``num_shards`` fresh registry backends and shard them.
 
         Every shard addresses the full global vertex-id space, so global
         ids route and query without translation; per-shard structures
-        only ever hold the edges they own.
+        only ever hold the edges they own.  The construction recipe is
+        kept as the service's shard factory, so :meth:`rebuild_shard`
+        can mint an identical empty replacement.
         """
-        shards = [
-            Graph.create(
+
+        def factory() -> Graph:
+            return Graph.create(
                 name,
                 num_vertices,
                 weighted=weighted,
                 snapshot_delta_limit=snapshot_delta_limit,
                 **backend_kwargs,
             )
-            for _ in range(num_shards)
-        ]
+
+        shards = [factory() for _ in range(num_shards)]
         return cls(
             shards,
             partitioner,
@@ -248,6 +433,9 @@ class ShardedGraph:
             dedup_batches=dedup_batches,
             default_weight=default_weight,
             event_retention=event_retention,
+            retry=retry,
+            partial_dispatch=partial_dispatch,
+            shard_factory=factory,
         )
 
     # -- identity ---------------------------------------------------------------
@@ -289,6 +477,48 @@ class ShardedGraph:
             total += int(version)
         return total
 
+    # -- health -----------------------------------------------------------------
+
+    def shard_health(self, shard_index: int) -> str:
+        """The health state of one shard."""
+        return self.health[self._check_shard(shard_index)]
+
+    @property
+    def dead_shards(self) -> tuple:
+        """Indices of shards currently marked dead."""
+        return tuple(s for s, h in enumerate(self.health) if h == SHARD_DEAD)
+
+    def _check_shard(self, shard_index) -> int:
+        s = int(shard_index)
+        if not 0 <= s < self.num_shards:
+            raise ValidationError(
+                f"shard index {s} out of range for {self.num_shards} shards"
+            )
+        return s
+
+    def _set_health(self, s: int, state: str) -> None:
+        self.health[s] = state
+
+    def kill_shard(self, shard_index: int) -> None:
+        """Mark a shard dead, as an injected permanent fault would.
+
+        The shard's in-memory structure is treated as lost: fan-outs skip
+        it (mutations report it in ``failed``, queries raise
+        :class:`ShardError`), :meth:`snapshot` refuses, and
+        :meth:`degraded_snapshot` serves its last cached per-shard
+        snapshot.  Restore it with :meth:`rebuild_shard`.
+        """
+        s = self._check_shard(shard_index)
+        before = self.mutation_version
+        self._set_health(s, SHARD_DEAD)
+        self._snap_cache = None
+        self.events.publish_structural(
+            "kill_shard",
+            before_version=before,
+            after_version=self.mutation_version,
+            payload=np.array([s], dtype=np.int64),
+        )
+
     # -- routing helpers ----------------------------------------------------------
 
     def _normalize(self, src, dst, weights, *, fill_default_weight: bool = True):
@@ -314,23 +544,121 @@ class ShardedGraph:
         counters.bytes_copied += int(rows) * 16
         return simulated_seconds(delta)
 
-    def _fan_out(self, owner, costs: ShardCosts, router_seconds: float, dispatch):
+    def _attempt(self, s: int, shard, mask, dispatch, op: str):
+        """Run one shard dispatch under the retry policy.
+
+        Returns ``(modeled_seconds, failure)`` — ``failure`` is None on
+        success, else the exception that exhausted the policy.  Health
+        transitions: a transient-fault exhaustion or unexpected error
+        degrades the shard, a permanent fault kills it, and a success
+        restores a degraded shard to healthy.
+        """
+        backoff = self.retry.backoff_base
+        total = 0.0
+        last: Exception | None = None
+        for attempt in range(self.retry.max_attempts):
+            delta: dict = {}
+            try:
+                with counting() as delta:
+                    dispatch(s, shard, mask)
+            except TransientFault as exc:
+                total += simulated_seconds(delta)
+                self.fault_stats["transient_faults"] += 1
+                last = exc
+                if attempt + 1 < self.retry.max_attempts:
+                    # Modeled backoff: charged to the faulting shard so
+                    # retried batches price their own recovery latency.
+                    total += backoff
+                    self.fault_stats["retries"] += 1
+                    self.fault_stats["backoff_seconds"] += backoff
+                    backoff *= self.retry.multiplier
+                continue
+            except PermanentFault as exc:
+                total += simulated_seconds(delta)
+                self.fault_stats["permanent_faults"] += 1
+                self._set_health(s, SHARD_DEAD)
+                return total, exc
+            except ValidationError:
+                raise  # a caller/router bug, not an environmental fault
+            except Exception as exc:
+                total += simulated_seconds(delta)
+                self.fault_stats["shard_errors"] += 1
+                self._set_health(s, SHARD_DEGRADED)
+                return total, exc
+            else:
+                total += simulated_seconds(delta)
+                if self.health[s] == SHARD_DEGRADED:
+                    self._set_health(s, SHARD_HEALTHY)
+                return total, None
+        self._set_health(s, SHARD_DEGRADED)
+        return total, last
+
+    def _fan_out(self, owner, costs: ShardCosts, router_seconds: float, dispatch, *, op: str):
         """Run ``dispatch(shard_index, shard, row_mask)`` for every shard
-        that owns rows, recording per-shard modeled cost."""
+        that owns rows, under the retry policy, recording per-shard
+        modeled cost.  Returns ``(applied, failures)`` where ``failures``
+        pairs shard indices with the exception (or reason string, for
+        dead shards that were never attempted)."""
         shard_times = []
+        applied = []
+        failures = []
         for s, shard in enumerate(self.shards):
             mask = owner == s
             if not mask.any():
                 continue
-            with counting() as delta:
-                dispatch(s, shard, mask)
-            shard_times.append((s, simulated_seconds(delta)))
+            if self.health[s] == SHARD_DEAD:
+                failures.append((s, f"shard {s} is dead (not attempted)"))
+                continue
+            secs, err = self._attempt(s, shard, mask, dispatch, op)
+            shard_times.append((s, secs))
+            if err is None:
+                applied.append(s)
+            else:
+                failures.append((s, err))
         costs.record(router_seconds, shard_times)
+        return applied, failures
+
+    def _partial(self, op: str, before, applied, failures, *, payload: dict, result: int):
+        """Account a mid-dispatch failure: publish the structural
+        ``"partial_dispatch"`` marker (consumers rebuild cold instead of
+        trusting a batch that only partially landed), then raise or
+        record per the :attr:`partial_dispatch` policy."""
+        report = DispatchReport(
+            op=op,
+            applied=tuple(applied),
+            failed=tuple((s, str(e)) for s, e in failures),
+            payload=payload,
+            result=int(result),
+        )
+        self.fault_stats["partial_dispatches"] += 1
+        self.events.publish_structural(
+            "partial_dispatch",
+            before_version=before,
+            after_version=self.mutation_version,
+            payload=np.array([s for s, _ in failures], dtype=np.int64),
+        )
+        if self.partial_dispatch == "record":
+            self.pending.append(report)
+            return report.result
+        first_shard, first_err = failures[0]
+        cause = first_err if isinstance(first_err, BaseException) else None
+        raise PartialDispatchError(
+            f"{op} applied on shards {list(report.applied)} but failed on "
+            f"{list(report.failed_shards)}; the batch is re-driveable "
+            "(see the attached DispatchReport and ShardedGraph.redrive)",
+            shard=first_shard,
+            op=op,
+            report=report,
+        ) from cause
 
     # -- mutation -----------------------------------------------------------------
 
     def insert_edges(self, src, dst, weights=None) -> int:
-        """Normalize once, route to owner shards, publish one event."""
+        """Normalize once, route to owner shards, publish one event.
+
+        On a mid-dispatch failure the partial-dispatch policy applies
+        (see class docstring); the returned count covers the shards that
+        applied."""
         src, dst, weights = self._normalize(src, dst, weights)
         if src.size == 0:
             return 0
@@ -345,7 +673,18 @@ class ShardedGraph:
                 src[mask], dst[mask], weights[mask] if weights is not None else None
             )
 
-        self._fan_out(owner, self.update_costs, router, dispatch)
+        applied, failures = self._fan_out(
+            owner, self.update_costs, router, dispatch, op="insert_edges"
+        )
+        if failures:
+            return self._partial(
+                "insert_edges",
+                before,
+                applied,
+                failures,
+                payload={"src": src, "dst": dst, "weights": weights, "owner": owner},
+                result=added,
+            )
         self.events.publish_edge_batch(
             True,
             src,
@@ -358,7 +697,10 @@ class ShardedGraph:
         return added
 
     def delete_edges(self, src, dst) -> int:
-        """Route a deletion batch to owner shards; returns removed count."""
+        """Route a deletion batch to owner shards; returns removed count.
+
+        Partial-dispatch failures follow the same policy as
+        :meth:`insert_edges`."""
         src, dst, _ = self._normalize(src, dst, None, fill_default_weight=False)
         if src.size == 0:
             return 0
@@ -371,7 +713,18 @@ class ShardedGraph:
             nonlocal removed
             removed += shard.delete_edges(src[mask], dst[mask])
 
-        self._fan_out(owner, self.update_costs, router, dispatch)
+        applied, failures = self._fan_out(
+            owner, self.update_costs, router, dispatch, op="delete_edges"
+        )
+        if failures:
+            return self._partial(
+                "delete_edges",
+                before,
+                applied,
+                failures,
+                payload={"src": src, "dst": dst, "weights": None, "owner": owner},
+                result=removed,
+            )
         self.events.publish_edge_batch(
             False,
             src,
@@ -389,8 +742,7 @@ class ShardedGraph:
         Out-edges live in the owner shard, but *in*-edges live wherever
         their source is owned — so the batch fans out to every shard, and
         the return value sums per-shard deactivations (a vertex counts
-        once per shard that had activated it).
-        """
+        once per shard that had activated it)."""
         vids = as_int_array(vertex_ids, "vertex_ids")
         if vids.size == 0:
             return 0
@@ -398,12 +750,34 @@ class ShardedGraph:
         before = self.mutation_version
         router = self._charge_router(vids.shape[0])
         shard_times = []
+        applied = []
+        failures = []
         removed = 0
+
+        def dispatch(s, shard, mask):
+            nonlocal removed
+            removed += shard.delete_vertices(vids)
+
         for s, shard in enumerate(self.shards):
-            with counting() as delta:
-                removed += shard.delete_vertices(vids)
-            shard_times.append((s, simulated_seconds(delta)))
+            if self.health[s] == SHARD_DEAD:
+                failures.append((s, f"shard {s} is dead (not attempted)"))
+                continue
+            secs, err = self._attempt(s, shard, None, dispatch, "delete_vertices")
+            shard_times.append((s, secs))
+            if err is None:
+                applied.append(s)
+            else:
+                failures.append((s, err))
         self.update_costs.record(router, shard_times)
+        if failures:
+            return self._partial(
+                "delete_vertices",
+                before,
+                applied,
+                failures,
+                payload={"vids": vids.copy()},
+                result=removed,
+            )
         self.events.publish_structural(
             "delete_vertices",
             before_version=before,
@@ -413,27 +787,54 @@ class ShardedGraph:
         return removed
 
     def bulk_build(self, coo: COO) -> int:
-        """One-shot build: split the COO by owner shard, build each."""
+        """One-shot build: split the COO by owner shard, build each.
+
+        Partial-dispatch failures follow the mutation policy; a failed
+        shard is still empty, so a redrive re-attempts its part of the
+        build."""
         _check_packable(int(coo.num_vertices))
         if coo.weights is not None and not self.weighted:
             coo = COO(coo.src, coo.dst, coo.num_vertices, weights=None)
         before = self.mutation_version
         owner = self.partitioner.shard_of(coo.src)
         router = self._charge_router(coo.num_edges)
-        shard_times = []
         built = 0
+
+        def dispatch(s, shard, mask):
+            nonlocal built
+            built += shard.bulk_build(
+                COO(
+                    coo.src[mask],
+                    coo.dst[mask],
+                    coo.num_vertices,
+                    weights=coo.weights[mask] if coo.weights is not None else None,
+                )
+            )
+
+        shard_times = []
+        applied = []
+        failures = []
         for s, shard in enumerate(self.shards):
             mask = owner == s
-            part = COO(
-                coo.src[mask],
-                coo.dst[mask],
-                coo.num_vertices,
-                weights=coo.weights[mask] if coo.weights is not None else None,
-            )
-            with counting() as delta:
-                built += shard.bulk_build(part)
-            shard_times.append((s, simulated_seconds(delta)))
+            if self.health[s] == SHARD_DEAD:
+                failures.append((s, f"shard {s} is dead (not attempted)"))
+                continue
+            secs, err = self._attempt(s, shard, mask, dispatch, "bulk_build")
+            shard_times.append((s, secs))
+            if err is None:
+                applied.append(s)
+            else:
+                failures.append((s, err))
         self.update_costs.record(router, shard_times)
+        if failures:
+            return self._partial(
+                "bulk_build",
+                before,
+                applied,
+                failures,
+                payload={"coo": coo, "owner": owner},
+                result=built,
+            )
         self.events.publish_structural(
             "bulk_build",
             before_version=before,
@@ -447,10 +848,179 @@ class ShardedGraph:
         )
         return built
 
+    # -- redrive -------------------------------------------------------------------
+
+    def redrive(self, report: DispatchReport):
+        """Re-dispatch a partial mutation's failed shards.
+
+        Rows for shards that are healthy (or degraded) again are applied
+        and published as a fresh event; shards still dead (or failing)
+        stay in the returned follow-up report.  Returns None once every
+        shard has applied.
+        """
+        payload = report.payload
+        before = self.mutation_version
+        shard_times = []
+        applied_now = []
+        failures = []
+        redriven = report.result
+
+        def make_dispatch():
+            if report.op == "insert_edges":
+                src, dst, w = payload["src"], payload["dst"], payload["weights"]
+
+                def d(s, shard, mask):
+                    nonlocal redriven
+                    redriven += shard.insert_edges(
+                        src[mask], dst[mask], w[mask] if w is not None else None
+                    )
+
+            elif report.op == "delete_edges":
+                src, dst = payload["src"], payload["dst"]
+
+                def d(s, shard, mask):
+                    nonlocal redriven
+                    redriven += shard.delete_edges(src[mask], dst[mask])
+
+            elif report.op == "delete_vertices":
+                vids = payload["vids"]
+
+                def d(s, shard, mask):
+                    nonlocal redriven
+                    redriven += shard.delete_vertices(vids)
+
+            elif report.op == "bulk_build":
+                coo = payload["coo"]
+
+                def d(s, shard, mask):
+                    nonlocal redriven
+                    redriven += shard.bulk_build(
+                        COO(
+                            coo.src[mask],
+                            coo.dst[mask],
+                            coo.num_vertices,
+                            weights=coo.weights[mask] if coo.weights is not None else None,
+                        )
+                    )
+
+            else:  # pragma: no cover - reports are built by this class
+                raise ValidationError(f"cannot redrive op {report.op!r}")
+            return d
+
+        dispatch = make_dispatch()
+        owner = payload.get("owner")
+        rows = int(owner.shape[0]) if owner is not None else 1
+        router = self._charge_router(rows)
+        for s in report.failed_shards:
+            if self.health[s] == SHARD_DEAD:
+                failures.append((s, f"shard {s} is dead (not attempted)"))
+                continue
+            mask = (owner == s) if owner is not None else None
+            if mask is not None and not mask.any():
+                applied_now.append(s)
+                continue
+            secs, err = self._attempt(s, self.shards[s], mask, dispatch, report.op)
+            shard_times.append((s, secs))
+            if err is None:
+                applied_now.append(s)
+            else:
+                failures.append((s, err))
+        self.update_costs.record(router, shard_times)
+        if applied_now:
+            self._publish_redrive(report, applied_now, owner, before)
+        if failures:
+            follow_up = DispatchReport(
+                op=report.op,
+                applied=tuple(report.applied) + tuple(applied_now),
+                failed=tuple((s, str(e)) for s, e in failures),
+                payload=payload,
+                result=int(redriven),
+            )
+            self.fault_stats["partial_dispatches"] += 1
+            self.events.publish_structural(
+                "partial_dispatch",
+                before_version=before,
+                after_version=self.mutation_version,
+                payload=np.array([s for s, _ in failures], dtype=np.int64),
+            )
+            return follow_up
+        return None
+
+    def _publish_redrive(self, report, applied_now, owner, before) -> None:
+        """Publish the redriven rows as a fresh, truthful event."""
+        payload = report.payload
+        if report.op in ("insert_edges", "delete_edges"):
+            mask = np.isin(owner, np.array(applied_now, dtype=np.int64))
+            src = payload["src"][mask]
+            dst = payload["dst"][mask]
+            w = payload["weights"][mask] if payload.get("weights") is not None else None
+            if src.size:
+                self.events.publish_edge_batch(
+                    report.op == "insert_edges",
+                    src,
+                    dst,
+                    w,
+                    before_version=before,
+                    after_version=self.mutation_version,
+                    rows=int(src.shape[0]),
+                )
+        elif report.op == "delete_vertices":
+            self.events.publish_structural(
+                "delete_vertices",
+                before_version=before,
+                after_version=self.mutation_version,
+                payload=payload["vids"].copy(),
+            )
+        elif report.op == "bulk_build":
+            coo = payload["coo"]
+            mask = np.isin(owner, np.array(applied_now, dtype=np.int64))
+            self.events.publish_structural(
+                "bulk_build",
+                before_version=before,
+                after_version=self.mutation_version,
+                payload=COO(
+                    coo.src[mask],
+                    coo.dst[mask],
+                    coo.num_vertices,
+                    weights=None if coo.weights is None else coo.weights[mask],
+                ),
+            )
+
+    def redrive_pending(self) -> int:
+        """Redrive every recorded partial dispatch, in order.
+
+        Reports that still have failing shards stay queued; returns how
+        many remain."""
+        remaining = []
+        for report in self.pending:
+            follow_up = self.redrive(report)
+            if follow_up is not None:
+                remaining.append(follow_up)
+        self.pending = remaining
+        return len(remaining)
+
     # -- queries (scatter-gather) ----------------------------------------------------
 
+    def _raise_query_failures(self, op: str, failures) -> None:
+        if not failures:
+            return
+        s, err = failures[0]
+        cause = err if isinstance(err, BaseException) else None
+        hint = (
+            " (the shard is dead — degraded_snapshot() serves cached reads, "
+            "rebuild_shard() restores it)"
+            if self.health[s] == SHARD_DEAD
+            else ""
+        )
+        raise ShardError(
+            f"shard {s} failed during {op}: {err}{hint}", shard=s, op=op
+        ) from cause
+
     def edge_exists(self, src, dst) -> np.ndarray:
-        """Boolean membership per pair, scatter-gathered from owners."""
+        """Boolean membership per pair, scatter-gathered from owners.
+
+        A shard failure surfaces as a typed :class:`ShardError` carrying
+        the shard index and op."""
         src = as_int_array(src, "src")
         dst = as_int_array(dst, "dst")
         check_equal_length(("src", src), ("dst", dst))
@@ -465,11 +1035,14 @@ class ShardedGraph:
         def dispatch(s, shard, mask):
             out[mask] = shard.edge_exists(src[mask], dst[mask])
 
-        self._fan_out(owner, self.query_costs, router, dispatch)
+        _, failures = self._fan_out(owner, self.query_costs, router, dispatch, op="edge_exists")
+        self._raise_query_failures("edge_exists", failures)
         return out
 
     def edge_weights(self, src, dst) -> tuple[np.ndarray, np.ndarray]:
-        """Per-pair ``(found, weight)``, scatter-gathered from owners."""
+        """Per-pair ``(found, weight)``, scatter-gathered from owners.
+
+        A shard failure surfaces as a typed :class:`ShardError`."""
         src = as_int_array(src, "src")
         dst = as_int_array(dst, "dst")
         check_equal_length(("src", src), ("dst", dst))
@@ -485,11 +1058,14 @@ class ShardedGraph:
         def dispatch(s, shard, mask):
             exists[mask], weights[mask] = shard.edge_weights(src[mask], dst[mask])
 
-        self._fan_out(owner, self.query_costs, router, dispatch)
+        _, failures = self._fan_out(owner, self.query_costs, router, dispatch, op="edge_weights")
+        self._raise_query_failures("edge_weights", failures)
         return exists, weights
 
     def degree(self, vertex_ids) -> np.ndarray:
-        """Out-degree per requested vertex, gathered from owner shards."""
+        """Out-degree per requested vertex, gathered from owner shards.
+
+        A shard failure surfaces as a typed :class:`ShardError`."""
         vids = as_int_array(vertex_ids, "vertex_ids")
         if vids.size == 0:
             return np.empty(0, dtype=np.int64)
@@ -501,20 +1077,43 @@ class ShardedGraph:
         def dispatch(s, shard, mask):
             out[mask] = shard.degree(vids[mask])
 
-        self._fan_out(owner, self.query_costs, router, dispatch)
+        _, failures = self._fan_out(owner, self.query_costs, router, dispatch, op="degree")
+        self._raise_query_failures("degree", failures)
         return out
 
     def neighbors(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
-        """One vertex's adjacency, served by its owner shard alone."""
+        """One vertex's adjacency, served by its owner shard alone.
+
+        A shard failure surfaces as a typed :class:`ShardError`."""
         v = int(vertex)
         check_in_range(np.array([v]), 0, self.num_vertices, "vertex")
-        shard = self.shards[int(self.partitioner.shard_of(np.array([v]))[0])]
-        return shard.neighbors(v)
+        s = int(self.partitioner.shard_of(np.array([v]))[0])
+        if self.health[s] == SHARD_DEAD:
+            self._raise_query_failures(
+                "neighbors", [(s, f"shard {s} is dead (not attempted)")]
+            )
+        try:
+            return self.shards[s].neighbors(v)
+        except ValidationError:
+            raise
+        except FaultError as exc:
+            if isinstance(exc, PermanentFault):
+                self.fault_stats["permanent_faults"] += 1
+                self._set_health(s, SHARD_DEAD)
+            else:
+                self.fault_stats["transient_faults"] += 1
+                self._set_health(s, SHARD_DEGRADED)
+            self._raise_query_failures("neighbors", [(s, exc)])
+        except Exception as exc:
+            self.fault_stats["shard_errors"] += 1
+            self._set_health(s, SHARD_DEGRADED)
+            self._raise_query_failures("neighbors", [(s, exc)])
 
     def adjacencies(self, vertex_ids) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Batched ``(owner_pos, destinations, weights)`` gathered from
         owner shards; rows are grouped by ascending position in
-        ``vertex_ids`` (neighbor order within a vertex is shard-native)."""
+        ``vertex_ids`` (neighbor order within a vertex is shard-native).
+        A shard failure surfaces as a typed :class:`ShardError`."""
         vids = as_int_array(vertex_ids, "vertex_ids")
         if vids.size == 0:
             empty = np.empty(0, dtype=np.int64)
@@ -533,7 +1132,8 @@ class ShardedGraph:
             dst_parts.append(dsts)
             w_parts.append(ws)
 
-        self._fan_out(owner, self.query_costs, router, dispatch)
+        _, failures = self._fan_out(owner, self.query_costs, router, dispatch, op="adjacencies")
+        self._raise_query_failures("adjacencies", failures)
         if not pos_parts:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy(), empty.copy()
@@ -565,23 +1165,11 @@ class ShardedGraph:
 
     # -- global snapshot ---------------------------------------------------------------
 
-    def snapshot(self) -> CSRSnapshot:
-        """Assemble the global sorted-CSR view from per-shard snapshots.
-
-        Each shard serves its snapshot through its own cached /
-        incremental / cold tiers; the router then places every shard's
-        rows at the owning vertices' global offsets — O(E) stream work,
-        charged as copy traffic.  Because a vertex's out-edges live in
-        exactly one shard and each shard's CSR is already
-        destination-sorted per vertex, the assembled snapshot is
-        bit-identical to the snapshot of a single :class:`Graph` given
-        the same workload.  Unchanged shards re-serve the same assembled
-        object for free.
-        """
-        versions = tuple(shard.mutation_version for shard in self.shards)
-        if self._snap_cache is not None and self._snap_cache[0] == versions:
-            return self._snap_cache[1]
-        shard_snaps = [shard.snapshot() for shard in self.shards]
+    def _assemble(self, shard_snaps) -> CSRSnapshot:
+        """Place per-shard sorted CSRs at their global offsets — O(E)
+        stream work, charged as copy traffic.  Correct because a vertex's
+        out-edges live in exactly one shard and each shard's CSR is
+        destination-sorted per vertex."""
         n = self.num_vertices
         counts = np.zeros(n, dtype=np.int64)
         for snap in shard_snaps:
@@ -606,11 +1194,168 @@ class ShardedGraph:
             col_idx[place] = snap.col_idx
             if weights is not None:
                 weights[place] = snap.weights
-        assembled = CSRSnapshot(
-            row_ptr=row_ptr, col_idx=col_idx, weights=weights, num_vertices=n
+        return CSRSnapshot(row_ptr=row_ptr, col_idx=col_idx, weights=weights, num_vertices=n)
+
+    def _empty_shard_snapshot(self) -> CSRSnapshot:
+        return CSRSnapshot(
+            row_ptr=np.zeros(self.num_vertices + 1, dtype=np.int64),
+            col_idx=np.empty(0, dtype=np.int64),
+            weights=np.empty(0, dtype=np.int64) if self.weighted else None,
+            num_vertices=self.num_vertices,
         )
+
+    def snapshot(self) -> CSRSnapshot:
+        """Assemble the global sorted-CSR view from per-shard snapshots.
+
+        Each shard serves its snapshot through its own cached /
+        incremental / cold tiers; the assembled result is bit-identical
+        to the snapshot of a single :class:`Graph` given the same
+        workload, and unchanged shards re-serve the same assembled object
+        for free.  Refuses while any shard is dead — that state cannot
+        serve an exact global view; use :meth:`degraded_snapshot` (tagged
+        staleness) or :meth:`rebuild_shard` (exact recovery) instead.
+        """
+        dead = self.dead_shards
+        if dead:
+            raise ShardError(
+                f"shard(s) {list(dead)} are dead — snapshot() would be "
+                "silently incomplete; serve degraded_snapshot() or recover "
+                "with rebuild_shard()",
+                shard=dead[0],
+                op="snapshot",
+            )
+        versions = tuple(shard.mutation_version for shard in self.shards)
+        if self._snap_cache is not None and self._snap_cache[0] == versions:
+            return self._snap_cache[1]
+        shard_snaps = [shard.snapshot() for shard in self.shards]
+        for s, snap in enumerate(shard_snaps):
+            self._shard_snaps[s] = (versions[s], snap)
+        assembled = self._assemble(shard_snaps)
         self._snap_cache = (versions, assembled)
         return assembled
+
+    def degraded_snapshot(self) -> DegradedSnapshot:
+        """Best-effort global snapshot that survives dead or failing shards.
+
+        Healthy shards serve live; a dead (or currently faulting) shard
+        contributes its last cached per-shard snapshot — tagged in
+        ``stale_shards`` with ``(cached_version, live_version)`` — and a
+        shard with no cached snapshot at all is reported in
+        ``missing_shards`` and contributes nothing.  The extra modeled
+        cost of this path (vs. a healthy :meth:`snapshot`) is priced by
+        the ``t14/chaos`` bench artifact.
+        """
+        shard_snaps = []
+        stale = []
+        missing = []
+        staleness = []
+        for s, shard in enumerate(self.shards):
+            if self.health[s] != SHARD_DEAD:
+                try:
+                    snap = shard.snapshot()
+                except FaultError:
+                    snap = None
+                if snap is not None:
+                    self._shard_snaps[s] = (shard.mutation_version, snap)
+                    shard_snaps.append(snap)
+                    continue
+            self.fault_stats["degraded_reads"] += 1
+            cached = self._shard_snaps.get(s)
+            if cached is None:
+                missing.append(s)
+                shard_snaps.append(self._empty_shard_snapshot())
+                continue
+            stale.append(s)
+            live = None if self.health[s] == SHARD_DEAD else self.shards[s].mutation_version
+            staleness.append((s, cached[0], live))
+            shard_snaps.append(cached[1])
+        return DegradedSnapshot(
+            snapshot=self._assemble(shard_snaps),
+            stale_shards=tuple(stale),
+            missing_shards=tuple(missing),
+            staleness=tuple(staleness),
+        )
+
+    # -- durability and recovery -----------------------------------------------------
+
+    def attach_durability(
+        self,
+        directory,
+        *,
+        fsync: str = "batch",
+        segment_bytes: int | None = None,
+        checkpoint_every_rows: int | None = None,
+        opener=None,
+    ):
+        """Attach durable per-shard stores (WAL + checkpoints) under
+        ``directory`` — the recovery source :meth:`rebuild_shard` replays.
+
+        Each shard gets its own segmented WAL subscribed to that shard's
+        event log, so per-shard durable order equals per-shard applied
+        order (the facade publishes only after the backend succeeds);
+        since every vertex's out-edges live in exactly one shard, that is
+        all the ordering a bit-identical rebuild needs.  Returns the
+        :class:`repro.persist.sharded.ShardStores`.
+        """
+        # Imported lazily: repro.persist imports the facade module, so a
+        # top-level import here would be circular.
+        from repro.persist.sharded import ShardStores
+
+        if self.stores is not None:
+            raise ValidationError("durability is already attached to this service")
+        self.stores = ShardStores(
+            self,
+            directory,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+            checkpoint_every_rows=checkpoint_every_rows,
+            opener=opener,
+        )
+        return self.stores
+
+    def rebuild_shard(self, shard_index: int, *, factory=None):
+        """Restore a dead shard bit-identically from its durable store.
+
+        A fresh empty shard (from ``factory`` or the service's own shard
+        factory) is recovered as checkpoint + WAL-tail replay, swapped
+        in, and marked healthy; a structural ``"rebuild_shard"`` event
+        tells consumers to rebuild cold.  Returns the recovery stats the
+        store reports (events replayed, checkpoint used).
+        """
+        s = self._check_shard(shard_index)
+        if self.stores is None:
+            raise ValidationError(
+                "rebuild_shard() needs durable per-shard stores — call "
+                "attach_durability(directory) before faults strike"
+            )
+        make = factory or self._shard_factory
+        if make is None:
+            raise ValidationError(
+                "no shard factory available — construct the service via "
+                "ShardedGraph.create() or pass factory="
+            )
+        fresh = make()
+        if not isinstance(fresh, Graph) or fresh.num_edges() != 0:
+            raise ValidationError("shard factory must produce an empty Graph facade")
+        if fresh.num_vertices != self.num_vertices or fresh.weighted != self.weighted:
+            raise ValidationError(
+                "shard factory produced a mismatched shard (vertex space or "
+                "weightedness differs from the service)"
+            )
+        info = self.stores.rebuild(s, fresh)
+        before = self.mutation_version
+        self.shards[s] = fresh
+        self._set_health(s, SHARD_HEALTHY)
+        self.fault_stats["rebuilds"] += 1
+        self._snap_cache = None
+        self._shard_snaps.pop(s, None)
+        self.events.publish_structural(
+            "rebuild_shard",
+            before_version=before,
+            after_version=self.mutation_version,
+            payload=np.array([s], dtype=np.int64),
+        )
+        return info
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

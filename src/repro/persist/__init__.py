@@ -13,7 +13,11 @@ survive the process.  Three layers:
   (NPZ + JSON manifest commit point) that bound replay length;
 - :mod:`repro.persist.store` — :func:`~repro.persist.store.open_graph`,
   which recovers a :class:`~repro.persist.store.DurableGraph` as
-  latest-valid-checkpoint + WAL-tail replay and keeps it durable.
+  latest-valid-checkpoint + WAL-tail replay and keeps it durable;
+- :mod:`repro.persist.sharded` — :class:`~repro.persist.sharded.ShardStores`,
+  per-shard WAL + checkpoint stores for a
+  :class:`~repro.api.sharding.ShardedGraph`, the recovery source its
+  ``rebuild_shard()`` replays (attach via ``attach_durability()``).
 
 See ``examples/durable_service.py`` for the checkpoint → crash →
 recover → replica-tail round trip, and the README's "Durability and
@@ -28,6 +32,7 @@ from repro.persist.checkpoint import (
     load_checkpoint,
     write_checkpoint,
 )
+from repro.persist.sharded import ShardRecovery, ShardStores
 from repro.persist.store import DurableGraph, apply_event, open_graph
 from repro.persist.wal import (
     DEFAULT_SEGMENT_BYTES,
@@ -47,6 +52,8 @@ __all__ = [
     "DurableGraph",
     "FSYNC_POLICIES",
     "LogFollower",
+    "ShardRecovery",
+    "ShardStores",
     "WalScan",
     "WalWriter",
     "apply_event",

@@ -50,7 +50,7 @@ from repro.persist.wal import (
     repair_wal,
     scan_wal,
 )
-from repro.util.errors import ValidationError
+from repro.util.errors import PersistError, ValidationError
 
 __all__ = ["DurableGraph", "open_graph", "apply_event"]
 
@@ -62,8 +62,11 @@ STORE_SCHEMA_VERSION = 1
 
 #: Replayable structural reasons → how :func:`apply_event` re-applies
 #: them.  Maintenance events (rehash, tombstone flush) do not change the
-#: logical edge set, so replay skips them.
-_SKIPPED_REASONS = ("rehash", "flush_tombstones")
+#: logical edge set, and the router-level fault markers the sharded
+#: service publishes (partial dispatch, shard kill/rebuild) describe
+#: events *about* the log rather than edge mutations, so replay skips
+#: them all.
+_SKIPPED_REASONS = ("rehash", "flush_tombstones", "partial_dispatch", "kill_shard", "rebuild_shard")
 
 
 def apply_event(graph: Graph, event) -> None:
@@ -137,6 +140,10 @@ class DurableGraph:
         self.repaired_torn_tail = repaired_torn_tail
         self.last_checkpoint = recovered_checkpoint
         self._rows_since_checkpoint = 0
+        #: Events applied in memory but lost to a failed WAL append (a
+        #: crash now would recover to a state missing them).  Healed by
+        #: :meth:`checkpoint`, which captures the full live state.
+        self.durability_gap = 0
         if wal is not None:
             graph.events.subscribe(self)
 
@@ -147,7 +154,14 @@ class DurableGraph:
     # -- event-log subscriber (writer mode) --------------------------------------
 
     def on_event(self, event) -> None:
-        self.wal.append(event)
+        try:
+            self.wal.append(event)
+        except PersistError:
+            # The mutation already applied in memory; the WAL missed it.
+            # Record the gap (checkpoint() heals it) and let the typed
+            # error reach the caller via the event log's re-raise.
+            self.durability_gap += 1
+            raise
         if isinstance(event, EdgeBatch):
             self._rows_since_checkpoint += event.rows
         if (
@@ -179,6 +193,9 @@ class DurableGraph:
         )
         self.last_checkpoint = manifest
         self._rows_since_checkpoint = 0
+        # The snapshot captures the full live state, including any
+        # events a failed append never logged — the gap is healed.
+        self.durability_gap = 0
         return manifest
 
     def tail(self) -> int:
@@ -256,6 +273,7 @@ def open_graph(
     segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     checkpoint_every_rows: int | None = None,
     read_only: bool = False,
+    wal_opener=None,
 ) -> DurableGraph:
     """Open (creating or recovering) a durable graph store at ``directory``.
 
@@ -360,7 +378,11 @@ def open_graph(
                 seg.unlink()
             next_seq = replay_from
         wal = WalWriter(
-            wal_dir, start_seq=next_seq, fsync=fsync, segment_bytes=segment_bytes
+            wal_dir,
+            start_seq=next_seq,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+            opener=wal_opener or open,
         )
 
     return DurableGraph(

@@ -46,7 +46,7 @@ import numpy as np
 
 from repro.coo import COO
 from repro.eventlog.events import EdgeBatch, StructuralEvent
-from repro.util.errors import ValidationError
+from repro.util.errors import PersistError, ValidationError
 
 __all__ = [
     "WalWriter",
@@ -377,6 +377,16 @@ def repair_wal(scan: WalScan) -> bool:
 # ---------------------------------------------------------------------------
 
 
+def _fsync_file(fh) -> None:
+    """Durably sync ``fh``: its own ``fsync()`` when it has one (the
+    chaos-injection seam), else ``os.fsync`` on the descriptor."""
+    sync = getattr(fh, "fsync", None)
+    if callable(sync):
+        sync()
+    else:
+        os.fsync(fh.fileno())
+
+
 class WalWriter:
     """Appends framed events to segment files (see module docstring).
 
@@ -392,6 +402,7 @@ class WalWriter:
         start_seq: int = 0,
         fsync: str = "batch",
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        opener=open,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValidationError(f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
@@ -401,8 +412,14 @@ class WalWriter:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         self.segment_bytes = int(segment_bytes)
+        #: File opener (``callable(path, mode) -> file``) — the fault
+        #: seam chaos testing injects through (``FaultyStore.opener``).
+        self._opener = opener
         #: Durable seq the next appended record will get.
         self.next_seq = int(start_seq)
+        #: True when a failed append could not be cleaned up and the tail
+        #: segment may hold a partial record (see :class:`PersistError`).
+        self.broken = False
         # Wall-clock accounting for the per-batch append overhead metric.
         self.bytes_written = 0
         self.records_written = 0
@@ -414,7 +431,12 @@ class WalWriter:
         if existing:
             # Resume appending into the (already repaired) tail segment.
             tail = existing[-1]
-            self._fh = open(tail, "ab")
+            try:
+                self._fh = self._opener(tail, "ab")
+            except OSError as exc:
+                raise PersistError(
+                    f"cannot reopen WAL tail segment {tail.name}: {exc}", op="open"
+                ) from exc
             self._segment_size = tail.stat().st_size
 
     # -- appending ---------------------------------------------------------------
@@ -424,7 +446,24 @@ class WalWriter:
         self.append(event)
 
     def append(self, event) -> int:
-        """Frame and append one event; returns its durable seq."""
+        """Frame and append one event; returns its durable seq.
+
+        Failure contract: an :class:`OSError` from the write or fsync is
+        wrapped in a typed :class:`PersistError`, the record's durable
+        seq is *not* consumed, and any partially-written bytes are
+        truncated away so the on-disk log stays ``scan_wal``-clean.
+        Only when that truncation itself fails does the writer mark
+        itself :attr:`broken` (``PersistError.broken`` is True) and
+        refuse further appends — the on-disk tail then needs
+        :func:`repair_wal` before reuse.
+        """
+        if self.broken:
+            raise PersistError(
+                "WAL writer is broken (an earlier fault could not be "
+                "cleaned up); repair the log and construct a new writer",
+                op="write",
+                broken=True,
+            )
         t0 = time.perf_counter()
         record = encode_record(event, self.next_seq)
         if self._fh is None or (
@@ -432,54 +471,144 @@ class WalWriter:
             and self._segment_size + len(record) > self.segment_bytes
         ):
             self._open_segment()
-        self._fh.write(record)
-        self._segment_size += len(record)
+        start = self._segment_size
+        try:
+            self._fh.write(record)
+            self._segment_size += len(record)
+            if self.fsync == "always":
+                self._fh.flush()
+                _fsync_file(self._fh)
+        except OSError as exc:
+            self._rewind_tail(start, exc)  # always raises PersistError
         self.bytes_written += len(record)
         self.records_written += 1
         if isinstance(event, EdgeBatch):
             self.rows_written += event.rows
         seq = self.next_seq
         self.next_seq += 1
-        if self.fsync == "always":
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
         self.append_seconds += time.perf_counter() - t0
         return seq
+
+    def _rewind_tail(self, start: int, exc: OSError) -> None:
+        """Restore a scan-clean tail after a failed write/fsync, then
+        raise the typed :class:`PersistError` describing the fault."""
+        op = "fsync" if self._segment_size > start else "write"
+        try:
+            # truncate() flushes earlier buffered records first, then
+            # cuts the file back to exactly the end of the last complete
+            # record — discarding the partial (or unsynced) one.  The
+            # seek matters: truncation does not move the position, and
+            # writing past it would leave a zero-filled hole the scanner
+            # would read as a torn record.
+            self._fh.truncate(start)
+            self._fh.seek(start)
+            self._segment_size = start
+        except OSError as trunc_exc:
+            self.broken = True
+            fh, self._fh = self._fh, None
+            try:
+                fh.close()
+            except OSError:
+                pass
+            raise PersistError(
+                f"WAL append failed ({exc}) and the torn tail could not "
+                f"be truncated ({trunc_exc}); the log needs repair_wal()",
+                op=op,
+                broken=True,
+            ) from exc
+        raise PersistError(
+            f"WAL append failed; the partial record was truncated away "
+            f"and the log is still clean: {exc}",
+            op=op,
+        ) from exc
 
     def _open_segment(self) -> None:
         if self._fh is not None:
             self.flush()
-            self._fh.close()
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
         path = self.directory / f"seg-{self.next_seq:020d}.wal"
-        self._fh = open(path, "wb")
-        self._fh.write(SEGMENT_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, self.next_seq))
+        try:
+            fh = self._opener(path, "wb")
+        except OSError as exc:
+            raise PersistError(
+                f"cannot open WAL segment {path.name}: {exc}", op="open"
+            ) from exc
+        try:
+            fh.write(SEGMENT_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, self.next_seq))
+            if self.fsync != "never":
+                fh.flush()
+                _fsync_file(fh)
+        except OSError as exc:
+            try:
+                fh.close()
+            except OSError:
+                pass
+            try:
+                path.unlink()  # a partial header is not a valid segment
+            except OSError:
+                pass
+            raise PersistError(
+                f"cannot write WAL segment header {path.name}: {exc}", op="open"
+            ) from exc
+        self._fh = fh
         self._segment_size = SEGMENT_HEADER.size
-        if self.fsync != "never":
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
 
     def rotate(self) -> None:
         """Force the next record into a fresh segment."""
         if self._fh is not None and self._segment_size > SEGMENT_HEADER.size:
-            self.flush()
-            self._fh.close()
-            self._fh = None
+            try:
+                self.flush()
+            finally:
+                fh, self._fh = self._fh, None
+                try:
+                    fh.close()
+                except OSError:
+                    pass
 
     # -- durability --------------------------------------------------------------
 
     def flush(self) -> None:
         """Push buffered records to the OS (and to disk unless
-        ``fsync="never"``)."""
-        if self._fh is not None:
+        ``fsync="never"``).
+
+        A no-op on a closed or broken writer — safe to call during
+        teardown after a failed append.  A real flush/fsync failure on a
+        live handle raises :class:`PersistError` (``op="fsync"``).
+        """
+        if self._fh is None:
+            return
+        try:
             self._fh.flush()
             if self.fsync != "never":
-                os.fsync(self._fh.fileno())
+                _fsync_file(self._fh)
+        except OSError as exc:
+            raise PersistError(f"WAL flush failed: {exc}", op="fsync") from exc
 
     def close(self) -> None:
-        if self._fh is not None:
-            self.flush()
-            self._fh.close()
-            self._fh = None
+        """Flush (best-effort) and close the tail segment.
+
+        Idempotent and exception-free: teardown after a fault must not
+        raise a second confusing error from a broken handle — a flush or
+        close failure here is swallowed (the append that caused it
+        already surfaced a typed :class:`PersistError`).
+        """
+        fh, self._fh = self._fh, None
+        if fh is None:
+            return
+        try:
+            fh.flush()
+            if self.fsync != "never":
+                _fsync_file(fh)
+        except OSError:
+            pass
+        try:
+            fh.close()
+        except OSError:
+            pass
 
     def __enter__(self) -> "WalWriter":
         return self

@@ -25,8 +25,23 @@ structures model.
 :mod:`repro.stream.durable` runs the same schedules against a
 :class:`repro.persist.DurableGraph`, with phase-boundary progress records
 so a paused or crashed run resumes bit-identically.
+
+:mod:`repro.stream.chaos` runs schedules with chaos phases (kill-shard,
+disk-fault, rebuild, checkpoint) against a
+:class:`repro.api.ShardedGraph` under a seeded
+:class:`repro.chaos.FaultPlan` — the fault/failover/degraded-read
+workloads ``docs/robustness.md`` describes and the ``t14`` bench prices.
 """
 
+from repro.stream.chaos import (
+    ChaosResult,
+    disk_fault_scenario,
+    kill_rebuild_scenario,
+    quick_chaos_scenarios,
+    run_chaos_scenario,
+    thrash_fault_specs,
+    thrash_scenario,
+)
 from repro.stream.durable import run_scenario_durable
 from repro.stream.incremental import (
     IncrementalAnalytic,
@@ -39,6 +54,8 @@ from repro.stream.incremental import (
 )
 from repro.stream.scenario import (
     ANALYTICS,
+    CHAOS_PHASE_KINDS,
+    DATA_PHASE_KINDS,
     FAMILIES,
     PHASE_KINDS,
     Phase,
@@ -55,6 +72,9 @@ from repro.stream.scenario import (
 
 __all__ = [
     "ANALYTICS",
+    "CHAOS_PHASE_KINDS",
+    "ChaosResult",
+    "DATA_PHASE_KINDS",
     "FAMILIES",
     "PHASE_KINDS",
     "IncrementalAnalytic",
@@ -70,9 +90,15 @@ __all__ = [
     "ScenarioResult",
     "build_dataset",
     "churn_scenario",
+    "disk_fault_scenario",
     "insert_heavy_scenario",
+    "kill_rebuild_scenario",
     "mixed_scenario",
+    "quick_chaos_scenarios",
     "quick_scenarios",
+    "run_chaos_scenario",
     "run_scenario",
     "run_scenario_durable",
+    "thrash_fault_specs",
+    "thrash_scenario",
 ]

@@ -60,6 +60,8 @@ from repro.util.errors import ValidationError
 __all__ = [
     "ANALYTICS",
     "PHASE_KINDS",
+    "DATA_PHASE_KINDS",
+    "CHAOS_PHASE_KINDS",
     "FAMILIES",
     "Phase",
     "Scenario",
@@ -73,8 +75,16 @@ __all__ = [
     "quick_scenarios",
 ]
 
+#: Phase kinds that mutate or probe the graph itself.
+DATA_PHASE_KINDS = ("insert", "delete", "vertex_churn", "query", "compute")
+
+#: Chaos phase kinds: fault injection and recovery actions against a
+#: sharded service (executed by :func:`repro.stream.chaos.run_chaos_scenario`;
+#: the plain :func:`run_scenario` rejects them).
+CHAOS_PHASE_KINDS = ("kill_shard", "rebuild_shard", "disk_fault", "checkpoint")
+
 #: Everything a phase can do to the graph.
-PHASE_KINDS = ("insert", "delete", "vertex_churn", "query", "compute")
+PHASE_KINDS = DATA_PHASE_KINDS + CHAOS_PHASE_KINDS
 
 #: Every analytic a compute phase can run (the delta-aware family).
 ANALYTICS = ("cc", "pagerank", "tc", "bfs", "sssp", "kcore")
@@ -88,14 +98,17 @@ class Phase:
     """One step of a scenario schedule.
 
     ``kind`` selects the operation; ``size`` is the per-batch item count
-    (edges for insert/delete, vertices for churn, probes for query;
-    ignored for compute) and ``batches`` how many batches the phase
-    applies back to back.
+    (edges for insert/delete, vertices for churn, probes for query, WAL
+    appends to fail for disk_fault; ignored for compute and the other
+    chaos kinds) and ``batches`` how many batches the phase applies back
+    to back.  ``target`` names the shard a ``kill_shard`` /
+    ``rebuild_shard`` chaos phase acts on.
     """
 
     kind: str
     size: int = 0
     batches: int = 1
+    target: int | None = None
 
     def __post_init__(self):
         if self.kind not in PHASE_KINDS:
@@ -104,8 +117,11 @@ class Phase:
             raise ValidationError("phase size must be non-negative")
         if self.batches < 1:
             raise ValidationError("phase batches must be >= 1")
-        if self.kind != "compute" and self.size == 0:
-            raise ValidationError(f"{self.kind!r} phases need size > 0")
+        if self.kind in ("insert", "delete", "vertex_churn", "query", "disk_fault"):
+            if self.size == 0:
+                raise ValidationError(f"{self.kind!r} phases need size > 0")
+        if self.kind in ("kill_shard", "rebuild_shard") and self.target is None:
+            raise ValidationError(f"{self.kind!r} phases need a target shard")
 
 
 @dataclass(frozen=True)
@@ -367,6 +383,11 @@ def _execute_phase(index, phase, g, coo, rng, scenario, compute_once) -> PhaseRe
     :func:`run_scenario` and the durable runner in
     :mod:`repro.stream.durable` (identical RNG consumption is what makes
     a paused-then-resumed run bit-identical to an uninterrupted one)."""
+    if phase.kind in CHAOS_PHASE_KINDS:
+        raise ValidationError(
+            f"chaos phase {phase.kind!r} needs a sharded service — run it "
+            "through repro.stream.chaos.run_chaos_scenario"
+        )
     n = coo.num_vertices
     applied = 0
     skipped = False

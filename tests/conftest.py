@@ -8,6 +8,15 @@ import pytest
 from repro.gpusim.counters import reset_counters
 
 
+def pytest_configure(config):
+    """Register the repo's custom markers (no pytest.ini to hold them)."""
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection / failover tests (CI runs them as their own "
+        "lane via `pytest -m chaos`; they also run in the default suite)",
+    )
+
+
 @pytest.fixture(autouse=True)
 def _fresh_counters():
     """Isolate the global kernel counters per test."""

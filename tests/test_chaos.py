@@ -1,0 +1,491 @@
+"""Fault injection, shard failover, and degraded-mode serving.
+
+The contract under test (docs/robustness.md): a seeded FaultPlan makes
+fault schedules a pure function of (seed, operation sequence); wrappers
+fault on entry so a faulted op never touched the backend; the sharded
+service absorbs transients with retries, marks permanent failures dead,
+accounts partial dispatches so they can be re-driven, serves degraded
+reads from cached shard snapshots, and rebuilds a dead shard from its
+durable WAL bit-identical to a never-faulted run — pinned here across
+all five backends.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    SHARD_DEAD,
+    SHARD_DEGRADED,
+    SHARD_HEALTHY,
+    Graph,
+    PartialDispatchError,
+    RetryPolicy,
+    ShardedGraph,
+    ShardError,
+    backend_names,
+)
+from repro.chaos import FaultPlan, FaultSpec, FaultyBackend
+from repro.stream.chaos import (
+    disk_fault_scenario,
+    kill_rebuild_scenario,
+    run_chaos_scenario,
+    thrash_fault_specs,
+    thrash_scenario,
+)
+from repro.stream.scenario import Phase, Scenario, run_scenario
+from repro.util.errors import (
+    PermanentFault,
+    TransientFault,
+    ValidationError,
+)
+
+pytestmark = pytest.mark.chaos
+
+BASELINE = Path(__file__).resolve().parent.parent / "benchmarks/baselines/BENCH_baseline_quick.json"
+
+
+def schedule(plan):
+    """A plan's fired faults as comparable tuples."""
+    return [(r.point, r.kind, r.arrival, r.spec_index) for r in plan.fired]
+
+
+def assert_snaps_identical(got, want):
+    assert np.array_equal(got.row_ptr, want.row_ptr)
+    assert np.array_equal(got.col_idx, want.col_idx)
+    if want.weights is not None:
+        assert np.array_equal(got.weights, want.weights)
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        specs = (FaultSpec("p.*", kind="transient", rate=0.4, max_fires=None),)
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(7, specs)
+            for i in range(200):
+                try:
+                    plan.arrive(f"p.{i % 3}")
+                except TransientFault:
+                    pass
+            runs.append(schedule(plan))
+        assert runs[0] == runs[1]
+        assert runs[0]  # rate 0.4 over 200 arrivals certainly fires
+
+    def test_different_seed_different_schedule(self):
+        def run(seed):
+            plan = FaultPlan(seed, (FaultSpec("x", rate=0.5, max_fires=None),))
+            fired = []
+            for i in range(64):
+                try:
+                    plan.arrive("x")
+                except TransientFault:
+                    fired.append(i)
+            return fired
+
+        assert run(1) != run(2)
+
+    def test_spec_streams_are_independent(self):
+        """Arrivals at a point only one rule matches never perturb
+        another rule's draw stream."""
+        spec_a = FaultSpec("a", rate=0.5, max_fires=None)
+        spec_b = FaultSpec("b", rate=0.5, max_fires=None)
+
+        def b_schedule(extra_a_arrivals):
+            plan = FaultPlan(3, (spec_a, spec_b))
+            for _ in range(extra_a_arrivals):
+                try:
+                    plan.arrive("a")
+                except TransientFault:
+                    pass
+            fired = []
+            for i in range(64):
+                try:
+                    plan.arrive("b")
+                except TransientFault:
+                    fired.append(i)
+            return fired
+
+        assert b_schedule(0) == b_schedule(17)
+
+    def test_after_and_max_fires(self):
+        plan = FaultPlan(0, (FaultSpec("w", kind="transient", after=2, max_fires=2),))
+        outcomes = []
+        for _ in range(6):
+            try:
+                plan.arrive("w")
+                outcomes.append("ok")
+            except TransientFault:
+                outcomes.append("fault")
+        assert outcomes == ["ok", "ok", "fault", "fault", "ok", "ok"]
+
+    def test_permanent_kind_raises_permanent(self):
+        plan = FaultPlan(0, (FaultSpec("gone", kind="permanent"),))
+        with pytest.raises(PermanentFault):
+            plan.arrive("gone")
+
+    def test_slow_kind_charges_model_without_raising(self):
+        from repro.gpusim.counters import get_counters
+
+        plan = FaultPlan(0, (FaultSpec("s", kind="slow", slow_launches=9),))
+        before = get_counters().kernel_launches
+        spec = plan.arrive("s")
+        assert spec is not None and spec.kind == "slow"
+        assert get_counters().kernel_launches - before == 9
+
+    def test_drain_events_windows(self):
+        plan = FaultPlan(0, (FaultSpec("p", max_fires=None),))
+        for _ in range(2):
+            with pytest.raises(TransientFault):
+                plan.arrive("p")
+        first = plan.drain_events()
+        assert len(first) == 2
+        assert plan.drain_events() == []
+        with pytest.raises(TransientFault):
+            plan.arrive("p")
+        assert len(plan.drain_events()) == 1
+        assert len(plan.fired) == 3  # the full journal is preserved
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FaultSpec("p", kind="nope")
+        with pytest.raises(ValidationError):
+            FaultSpec("p", rate=1.5)
+        with pytest.raises(ValidationError):
+            FaultSpec("p", after=-1)
+        with pytest.raises(ValidationError):
+            FaultSpec("p", torn_fraction=1.0)
+
+
+class TestFaultyBackend:
+    def test_fault_on_entry_leaves_backend_untouched(self):
+        g = Graph.create("slabhash", num_vertices=32)
+        plan = FaultPlan(0, (FaultSpec("b.insert_edges", kind="transient"),))
+        g.backend = FaultyBackend(g.backend, plan, prefix="b")
+        with pytest.raises(TransientFault):
+            g.insert_edges([1], [2])
+        assert g.num_edges() == 0  # the wrapped backend never ran
+        assert len(g.events) == 0  # and nothing was published
+        assert g.insert_edges([1], [2]) == 1  # one-shot spec exhausted
+
+    def test_transparent_without_matching_specs(self):
+        g = Graph.create("hornet", num_vertices=32)
+        plan = FaultPlan(0)
+        g.backend = FaultyBackend(g.backend, plan, prefix="b")
+        g.insert_edges([0, 1], [1, 2])
+        assert g.num_edges() == 2
+        assert bool(g.edge_exists([0], [1])[0])
+        assert plan.total_arrivals > 0
+
+
+def service_with_plan(plan, *, n=64, shards=3, partial="raise", retry=None, weighted=False):
+    svc = ShardedGraph.create(
+        "slabhash", n, num_shards=shards, weighted=weighted,
+        partial_dispatch=partial, retry=retry,
+    )
+    for s, shard in enumerate(svc.shards):
+        shard.backend = FaultyBackend(shard.backend, plan, prefix=f"shard{s}")
+    return svc
+
+
+class TestHealthAndRetry:
+    def test_transient_fault_absorbed_by_retry(self):
+        plan = FaultPlan(0, (FaultSpec("shard1.insert_edges", kind="transient"),))
+        svc = service_with_plan(plan)
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 64, 40, dtype=np.int64)
+        dst = rng.integers(0, 64, 40, dtype=np.int64)
+        applied = svc.insert_edges(src, dst)
+        assert applied > 0
+        assert svc.health == [SHARD_HEALTHY] * 3
+        assert svc.fault_stats["transient_faults"] == 1
+        assert svc.fault_stats["retries"] == 1
+        assert svc.fault_stats["backoff_seconds"] > 0
+
+    def test_retry_exhaustion_marks_degraded(self):
+        plan = FaultPlan(
+            0, (FaultSpec("shard0.insert_edges", kind="transient", max_fires=None),)
+        )
+        svc = service_with_plan(plan, retry=RetryPolicy(max_attempts=2))
+        with pytest.raises(PartialDispatchError) as exc:
+            svc.insert_edges(np.arange(12, dtype=np.int64), np.arange(12, dtype=np.int64) + 13)
+        assert svc.shard_health(0) == SHARD_DEGRADED
+        assert 0 in exc.value.report.failed_shards
+        # A later fault-free batch restores the shard to healthy.
+        svc2 = service_with_plan(
+            FaultPlan(0, (FaultSpec("shard0.insert_edges", kind="transient", max_fires=2),)),
+            retry=RetryPolicy(max_attempts=2),
+            partial="record",
+        )
+        svc2.insert_edges(np.arange(12, dtype=np.int64), np.arange(12, dtype=np.int64) + 13)
+        assert svc2.shard_health(0) == SHARD_DEGRADED
+        svc2.insert_edges(np.arange(12, dtype=np.int64), np.arange(12, dtype=np.int64) + 25)
+        assert svc2.shard_health(0) == SHARD_HEALTHY
+
+    def test_permanent_fault_marks_dead_and_partial_raises(self):
+        plan = FaultPlan(0, (FaultSpec("shard2.insert_edges", kind="permanent"),))
+        svc = service_with_plan(plan)
+        rng = np.random.default_rng(1)
+        src = rng.integers(0, 64, 60, dtype=np.int64)
+        dst = rng.integers(0, 64, 60, dtype=np.int64)
+        with pytest.raises(PartialDispatchError) as exc:
+            svc.insert_edges(src, dst)
+        assert svc.shard_health(2) == SHARD_DEAD
+        report = exc.value.report
+        assert report.failed_shards == (2,)
+        assert set(report.applied) <= {0, 1}
+        assert svc.fault_stats["permanent_faults"] == 1
+
+    def test_dead_shard_not_reattempted(self):
+        plan = FaultPlan(0, (FaultSpec("shard1.insert_edges", kind="permanent"),))
+        svc = service_with_plan(plan, partial="record")
+        rng = np.random.default_rng(2)
+        for _ in range(3):
+            src = rng.integers(0, 64, 30, dtype=np.int64)
+            dst = rng.integers(0, 64, 30, dtype=np.int64)
+            svc.insert_edges(src, dst)
+        # One permanent fire; later batches skip the dead shard outright.
+        assert svc.fault_stats["permanent_faults"] == 1
+        assert len(svc.pending) >= 2
+        assert all("dead" in reason for _, reason in svc.pending[-1].failed)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ValidationError):
+            ShardedGraph.create("slabhash", 16, num_shards=2, partial_dispatch="bogus")
+
+
+class TestDegradedReads:
+    def build(self):
+        plan = FaultPlan(0)
+        svc = service_with_plan(plan, n=96, shards=3, partial="record")
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 96, 200, dtype=np.int64)
+        dst = rng.integers(0, 96, 200, dtype=np.int64)
+        svc.insert_edges(src, dst)
+        return svc, rng
+
+    def test_snapshot_refuses_with_dead_shard(self):
+        svc, _ = self.build()
+        svc.snapshot()
+        svc.kill_shard(1)
+        with pytest.raises(ShardError) as exc:
+            svc.snapshot()
+        assert exc.value.shard == 1
+        assert "degraded_snapshot" in str(exc.value)
+
+    def test_degraded_read_serves_cached_shard_with_staleness(self):
+        svc, rng = self.build()
+        live = svc.snapshot()  # populates the per-shard cache
+        svc.kill_shard(1)
+        degraded = svc.degraded_snapshot()
+        assert degraded.stale_shards == (1,)
+        assert degraded.missing_shards == ()
+        assert not degraded.fresh
+        # Nothing changed since the cache was cut: the view is still exact.
+        assert_snaps_identical(degraded.snapshot, live)
+        # Mutations to live shards show up; the dead shard stays pinned.
+        src = rng.integers(0, 96, 50, dtype=np.int64)
+        dst = rng.integers(0, 96, 50, dtype=np.int64)
+        svc.insert_edges(src, dst)
+        after = svc.degraded_snapshot()
+        assert after.snapshot.num_edges > live.num_edges
+        (tag,) = after.staleness
+        assert tag[0] == 1 and tag[1] >= 0
+        assert svc.fault_stats["degraded_reads"] == 2
+
+    def test_degraded_read_without_cache_serves_empty_shard(self):
+        svc, _ = self.build()
+        svc.kill_shard(2)  # killed before any snapshot was ever cut
+        degraded = svc.degraded_snapshot()
+        assert degraded.missing_shards == (2,)
+        # Served view holds only the live shards' edges.
+        assert degraded.snapshot.num_edges < svc.num_edges() + 1
+
+
+class TestQueryShardErrors:
+    def test_queries_raise_typed_shard_error(self):
+        svc, _ = TestDegradedReads().build()
+        svc.kill_shard(0)
+        dead_src = np.flatnonzero(svc.partitioner.shard_of(np.arange(96)) == 0)[:4]
+        probes = dead_src.astype(np.int64)
+        for op, call in [
+            ("degree", lambda: svc.degree(probes)),
+            ("edge_exists", lambda: svc.edge_exists(probes, probes + 1)),
+            ("adjacencies", lambda: svc.adjacencies(probes)),
+            ("neighbors", lambda: svc.neighbors(int(probes[0]))),
+        ]:
+            with pytest.raises(ShardError) as exc:
+                call()
+            assert exc.value.shard == 0
+            assert exc.value.op == op
+
+
+class TestKillRebuildPin:
+    @pytest.mark.parametrize("name", sorted(backend_names()))
+    def test_rebuild_bit_identical_across_backends(self, name, tmp_path):
+        """Fixed seeds: kill → rebuild → redrive converges every backend
+        to the exact snapshot of a never-faulted run."""
+        from repro.api import capabilities
+
+        n, rounds = 96, 4
+        weighted = capabilities(name).weighted
+
+        def workload(svc):
+            rng = np.random.default_rng(11)
+            for r in range(rounds):
+                src = rng.integers(0, n, 50, dtype=np.int64)
+                dst = rng.integers(0, n, 50, dtype=np.int64)
+                w = rng.integers(1, 9, 50, dtype=np.int64) if weighted else None
+                svc.insert_edges(src, dst, w)
+                if r == 1:
+                    yield svc  # mid-workload hook
+                pick_s = rng.integers(0, n, 10, dtype=np.int64)
+                pick_d = rng.integers(0, n, 10, dtype=np.int64)
+                svc.delete_edges(pick_s, pick_d)
+
+        def build(directory, chaos):
+            svc = ShardedGraph.create(
+                name, n, num_shards=3, weighted=weighted, partial_dispatch="record"
+            )
+            svc.attach_durability(directory, fsync="never")
+            it = workload(svc)
+            next(it)  # run to the mid-workload hook
+            if chaos:
+                svc.kill_shard(1)
+            for _ in it:
+                pass
+            if chaos:
+                assert svc.pending  # the dead shard's rows were recorded
+                svc.rebuild_shard(1)
+                assert svc.redrive_pending() == 0
+            svc.stores.close()
+            return svc
+
+        clean = build(tmp_path / "clean", chaos=False)
+        faulted = build(tmp_path / "faulted", chaos=True)
+        assert faulted.health == [SHARD_HEALTHY] * 3
+        assert_snaps_identical(faulted.snapshot(), clean.snapshot())
+
+
+class TestChaosScenarios:
+    def test_plain_runner_rejects_chaos_phases(self):
+        sc = Scenario(
+            name="x", family="rmat", num_vertices=64, avg_degree=2.0,
+            phases=(Phase("kill_shard", target=0),),
+        )
+        with pytest.raises(ValidationError, match="run_chaos_scenario"):
+            run_scenario(sc, "slabhash")
+
+    def test_phase_validation(self):
+        with pytest.raises(ValidationError):
+            Phase("kill_shard")  # no target
+        with pytest.raises(ValidationError):
+            Phase("disk_fault")  # no size
+        sc = kill_rebuild_scenario(64, batch=8, shard=9)
+        with pytest.raises(ValidationError, match="targets shard 9"):
+            run_chaos_scenario(sc, "slabhash", num_shards=4)
+
+    def test_kill_rebuild_scenario_end_to_end(self):
+        sc = kill_rebuild_scenario(1 << 8, batch=64)
+        with run_chaos_scenario(sc, "slabhash", fault_seed=5) as res:
+            kinds = [p.kind for p in res.phases]
+            assert kinds == [p.kind for p in sc.phases]
+            computes = [p for p in res.phases if p.kind == "compute"]
+            assert [p.detail["degraded"] for p in computes] == [False, True, False]
+            assert computes[1].detail["stale_shards"] == [1]
+            rebuild = next(p for p in res.phases if p.kind == "rebuild_shard")
+            assert rebuild.detail["pending_after_redrive"] == 0
+            assert rebuild.detail["replayed_events"] > 0
+            assert all("health" in p.detail and "faults" in p.detail for p in res.phases)
+            assert res.service.health == [SHARD_HEALTHY] * res.num_shards
+
+    def test_disk_fault_scenario_heals_and_recovers(self):
+        sc = disk_fault_scenario(1 << 8, batch=64, fires=2)
+        with run_chaos_scenario(sc, "slabhash", fault_seed=5) as res:
+            faulted_insert = res.phases[2]
+            assert len(faulted_insert.detail["faults"]) == 2
+            checkpoint = next(p for p in res.phases if p.kind == "checkpoint")
+            assert checkpoint.detail["healed_gaps"] == 2
+            assert res.service.stores.durability_gap == 0
+            res.service.snapshot()  # healthy again after rebuild
+
+    def test_thrash_scenario_deterministic_and_transparent(self):
+        sc = thrash_scenario(1 << 8, batch=48)
+
+        def run():
+            with run_chaos_scenario(
+                sc, "slabhash", fault_seed=11, faults=thrash_fault_specs(0.3)
+            ) as res:
+                return schedule(res.plan), res.service.snapshot(), dict(res.service.fault_stats)
+
+        (sched_a, snap_a, stats_a), (sched_b, snap_b, _) = run(), run()
+        assert sched_a == sched_b and sched_a  # faults fired, identically
+        assert_snaps_identical(snap_a, snap_b)
+        assert stats_a["retries"] == stats_a["transient_faults"]  # all absorbed
+
+    def test_chaos_run_matches_plain_data_schedule(self):
+        """Chaos phases consume no workload RNG: the kill/rebuild run's
+        final state equals a run of the same schedule without them."""
+        sc = kill_rebuild_scenario(1 << 8, batch=64)
+        plain = Scenario(
+            name="plain", family=sc.family, num_vertices=sc.num_vertices,
+            avg_degree=sc.avg_degree, seed=sc.seed,
+            phases=tuple(p for p in sc.phases if p.kind in ("insert", "compute")),
+        )
+        with run_chaos_scenario(sc, "slabhash", fault_seed=1) as chaotic:
+            with run_chaos_scenario(plain, "slabhash", fault_seed=1) as clean:
+                assert_snaps_identical(chaotic.service.snapshot(), clean.service.snapshot())
+
+
+class TestT14Gates:
+    def test_committed_quick_baseline_gates_chaos(self):
+        """The t14 quick gates: WAL-replay rebuild ≥ 2x cheaper than cold
+        re-ingest, and degraded reads within 2x of a healthy assemble."""
+        doc = json.loads(BASELINE.read_text())
+        metrics = {
+            r["metric"]: r["value"] for a in doc["artifacts"] for r in a.get("results", [])
+        }
+        speedups = [
+            k
+            for k in metrics
+            if k.startswith("t14/E=2^18/shards=4/") and k.endswith("/recovery_speedup")
+        ]
+        assert speedups, "t14 recovery-speedup metrics missing from the quick baseline"
+        for key in speedups:
+            assert metrics[key] >= 2.0, (key, metrics[key])
+        overheads = [
+            k
+            for k in metrics
+            if k.startswith("t14/E=2^18/shards=4/") and k.endswith("/degraded_read_overhead")
+        ]
+        assert overheads, "t14 degraded-read metrics missing from the quick baseline"
+        for key in overheads:
+            assert metrics[key] <= 2.0, (key, metrics[key])
+
+    def test_chaos_artifact_quick_structure(self):
+        from repro.bench.chaos_bench import chaos_artifact
+
+        art = chaos_artifact(seed=0, quick=True)
+        keys = {r.metric for r in art.results}
+        prefix = "t14/E=2^18/shards=4/slabhash/"
+        for suffix in (
+            "fresh_read",
+            "degraded_read",
+            "degraded_read_overhead",
+            "rebuild",
+            "cold_reingest",
+            "recovery_speedup",
+            "rebuild_wall",
+            "scenario_model",
+            "scenario_wall",
+        ):
+            assert prefix + suffix in keys
+        assert len(art.rows) == 1

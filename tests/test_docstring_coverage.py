@@ -5,9 +5,10 @@ the public surface packages (see ``ruff.toml``); this test mirrors that
 contract with a stdlib AST walk so plain ``pytest`` runs — and
 environments without ruff — catch a missing docstring too.  Scope and
 exemptions match the ruff config: every public module, class, function,
-method, and property in ``repro.api``, ``repro.eventlog``, and
-``repro.stream`` needs a docstring; underscore-private names, magic
-methods (D105), and ``__init__`` (D107) are exempt.
+method, and property in ``repro.api``, ``repro.chaos``,
+``repro.eventlog``, and ``repro.stream`` needs a docstring;
+underscore-private names, magic methods (D105), and ``__init__``
+(D107) are exempt.
 """
 
 import ast
@@ -17,7 +18,7 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: The packages whose public surface carries the documentation contract
 #: (kept in sync with the D1 scope in ``ruff.toml``).
-COVERED_PACKAGES = ("api", "eventlog", "stream")
+COVERED_PACKAGES = ("api", "chaos", "eventlog", "stream")
 
 
 def _is_public(name: str) -> bool:

@@ -64,6 +64,17 @@ def test_durable_service_example_runs(capsys):
     assert "replica tailed" in out
 
 
+@pytest.mark.chaos
+def test_chaos_failover_example_runs(capsys):
+    run_example("chaos_failover.py")
+    out = capsys.readouterr().out
+    assert "transient faults absorbed: 2" in out
+    assert "typed query failure: shard=1 op=degree" in out
+    assert "degraded read" in out
+    assert "recovered service verified bit-identical to a never-faulted run" in out
+    assert "strict mode: PartialDispatchError" in out
+
+
 @pytest.mark.slow
 def test_streaming_example_runs(capsys):
     run_example("streaming_social_network.py")

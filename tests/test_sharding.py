@@ -271,6 +271,80 @@ class TestShardedValidation:
             sg.edge_exists([0], [99])
 
 
+class TestScatterGatherShardErrors:
+    """Regression: a raw exception inside one shard's scatter-gather leg
+    surfaces as a typed ShardError naming the shard and the operation —
+    never as the shard's bare RuntimeError/KeyError/etc."""
+
+    def _broken_service(self, op):
+        from repro.api import ShardError  # noqa: F401 - re-exported surface
+
+        sg = ShardedGraph.create("slabhash", 32, num_shards=2)
+        rng = np.random.default_rng(9)
+        sg.insert_edges(
+            rng.integers(0, 32, 40, dtype=np.int64), rng.integers(0, 32, 40, dtype=np.int64)
+        )
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("shard-internal explosion")
+
+        setattr(sg.shards[1].backend, op, boom)
+        return sg
+
+    @pytest.mark.parametrize(
+        "op, call",
+        [
+            ("degree", lambda sg: sg.degree(np.arange(32, dtype=np.int64))),
+            ("edge_exists", lambda sg: sg.edge_exists([0, 1, 2, 3], [1, 2, 3, 4])),
+            ("adjacencies", lambda sg: sg.adjacencies(np.arange(32, dtype=np.int64))),
+        ],
+    )
+    def test_query_wraps_raw_shard_exception(self, op, call):
+        from repro.api import ShardError
+
+        sg = self._broken_service(op)
+        with pytest.raises(ShardError) as exc:
+            call(sg)
+        assert exc.value.shard == 1
+        assert exc.value.op == op
+        assert isinstance(exc.value.__cause__, RuntimeError)
+        # The raw error degraded (not killed) the shard; the others serve.
+        assert sg.shard_health(1) == "degraded"
+        assert sg.shard_health(0) == "healthy"
+
+    def test_edge_weights_wraps_raw_shard_exception(self):
+        from repro.api import ShardError
+
+        sg = ShardedGraph.create("slabhash", 32, num_shards=2, weighted=True)
+        sg.insert_edges([1, 2, 3], [2, 3, 4], [7, 8, 9])
+
+        def boom(*args, **kwargs):
+            raise KeyError("lost bucket")
+
+        sg.shards[0].backend.edge_weights = boom
+        with pytest.raises(ShardError) as exc:
+            sg.edge_weights(np.arange(32, dtype=np.int64), (np.arange(32, dtype=np.int64) + 1) % 32)
+        assert exc.value.op == "edge_weights"
+        assert exc.value.shard == 0
+
+    def test_neighbors_wraps_raw_shard_exception(self):
+        from repro.api import ShardError
+
+        sg = self._broken_service("neighbors")
+        victim = int(np.flatnonzero(sg.partitioner.shard_of(np.arange(32)) == 1)[0])
+        with pytest.raises(ShardError) as exc:
+            sg.neighbors(victim)
+        assert exc.value.shard == 1 and exc.value.op == "neighbors"
+
+    def test_shard_error_is_catchable_as_repro_error(self):
+        from repro.api import ShardError
+        from repro.util.errors import ReproError
+
+        err = ShardError("boom", shard=3, op="degree")
+        assert isinstance(err, ReproError) and isinstance(err, RuntimeError)
+        assert err.shard == 3 and err.op == "degree"
+
+
 def test_committed_quick_baseline_gates_shard_speedup():
     """The t12 quick gate: ≥ 2x modeled insert throughput at 4 shards."""
     import json

@@ -1,0 +1,85 @@
+"""Kernel tiers: one workload, two implementations, identical counters.
+
+Run:  python examples/kernel_tiers.py
+
+The slab-probe and snapshot-merge hot paths dispatch through
+:mod:`repro.kernels`: a fused pure-NumPy *reference* tier (always on)
+and an optional numba-compiled *jit* tier.  This example pushes the
+same seeded workload through both and shows the contract that makes
+them interchangeable:
+
+1. wall-clock differs (that is the jit tier's whole job — without
+   numba installed the jit tier runs as an uncompiled Python fallback,
+   so the "speedup" here may be a slowdown; install ``.[jit]`` for the
+   real numbers);
+2. everything else is **bit-identical**: the query results, the CSR
+   snapshot, and every :mod:`repro.gpusim` device-model counter —
+   because kernels are pure and all model charging happens in the
+   drivers, a tier *cannot* change the modeled cost.
+
+See docs/performance.md for the architecture.
+"""
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.api import create
+from repro.gpusim.counters import get_counters
+from repro.kernels import current_tier, jit_available, use_tier
+
+
+def run_workload():
+    """A mixed insert/delete/search/snapshot run; returns results + cost."""
+    rng = np.random.default_rng(2024)
+    num_vertices = 512
+    graph = create("slabhash", num_vertices=num_vertices, weighted=True)
+    src = rng.integers(0, num_vertices, 4_000, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, 4_000, dtype=np.int64)
+    w = rng.integers(1, 100, 4_000, dtype=np.int64)
+
+    get_counters().reset()
+    t0 = perf_counter()
+    graph.insert_edges(src, dst, w)
+    graph.delete_edges(src[:1_000], dst[:1_000])
+    exists = np.asarray(graph.edge_exists(src, dst))
+    snap = graph.snapshot()
+    wall_ms = (perf_counter() - t0) * 1e3
+
+    counters = {
+        name: value
+        for name, value in vars(get_counters()).items()
+        if name != "_extra" and value
+    }
+    return exists, snap, counters, wall_ms
+
+
+def main() -> None:
+    runs = {}
+    for tier in ("reference", "jit"):
+        # force=True lets the jit tier run uncompiled when numba is absent.
+        with use_tier(tier, force=True):
+            assert current_tier() == tier
+            runs[tier] = run_workload()
+        label = tier if tier == "reference" else (
+            "jit (numba)" if jit_available() else "jit (uncompiled fallback)"
+        )
+        print(f"{label:>26}: {runs[tier][3]:8.2f} ms wall-clock")
+
+    ref_exists, ref_snap, ref_counters, _ = runs["reference"]
+    jit_exists, jit_snap, jit_counters, _ = runs["jit"]
+
+    assert np.array_equal(ref_exists, jit_exists)
+    assert np.array_equal(ref_snap.row_ptr, jit_snap.row_ptr)
+    assert np.array_equal(ref_snap.col_idx, jit_snap.col_idx)
+    assert np.array_equal(ref_snap.weights, jit_snap.weights)
+    print(f"\nresults identical across tiers: {ref_snap!r}")
+
+    assert ref_counters == jit_counters
+    print("modeled device counters identical across tiers:")
+    for name, value in ref_counters.items():
+        print(f"  {name:>16} = {value:,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,26 @@
-"""Legacy setup shim.
+"""Setup shim for offline / legacy-setuptools environments.
 
 The offline environment carries an older setuptools without PEP-517 wheel
 support; this file enables ``pip install -e . --no-build-isolation`` there.
-All real metadata lives in pyproject.toml.
+The one piece of metadata that matters to users is the optional ``[jit]``
+extra: ``pip install .[jit]`` pulls the pinned numba the optional compiled
+kernel tier needs (see ``docs/performance.md``).  The library itself
+depends only on numpy — without the extra everything runs on the
+pure-NumPy reference tier.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dynamic-graphs",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    extras_require={
+        # The optional compiled kernel tier (repro.kernels.jit).  Pinned to
+        # a tested range; absent numba the package falls back to the
+        # bit-identical reference tier automatically.
+        "jit": ["numba>=0.59,<0.62"],
+    },
+)

@@ -26,8 +26,8 @@ import numpy as np
 
 from repro.coo import COO
 from repro.gpusim.counters import get_counters
+from repro.kernels import get_kernels
 from repro.util.errors import ValidationError
-from repro.util.groupby import last_occurrence_mask
 
 __all__ = [
     "CSRSnapshot",
@@ -36,9 +36,6 @@ __all__ = [
     "merge_csr_delta",
     "merge_event_window",
 ]
-
-_MASK32 = np.int64(0xFFFFFFFF)
-
 
 @dataclass(frozen=True)
 class CSRSnapshot:
@@ -219,10 +216,9 @@ def merge_event_window(base: CSRSnapshot, events, directed: bool = True) -> CSRS
     is_ins = np.concatenate(kinds)
     comp = (src << np.int64(32)) | dst
     get_counters().sorted_elements += int(comp.shape[0])
-    last = last_occurrence_mask(comp)
-    comp, w, is_ins = comp[last], w[last], is_ins[last]
-    order = np.argsort(comp)
-    comp, w, is_ins = comp[order], w[order], is_ins[order]
+    # Fused dedup-last + sort (one stable argsort instead of the old
+    # mask-sort / re-sort pair) behind the kernel-tier seam.
+    comp, w, is_ins = get_kernels().sort_window_last(comp, w, is_ins)
     weighted = base.weights is not None
     return merge_csr_delta(
         base,
@@ -250,54 +246,33 @@ def merge_csr_delta(
 
     Charges the device model for the merge stream (``bytes_copied``) so
     benches price the incremental path against the cold rebuild's
-    ``sorted_elements``.
+    ``sorted_elements``.  The stream merge itself runs behind the
+    :mod:`repro.kernels` tier seam (``merge_sorted_csr``); both tiers
+    produce bit-identical CSRs and this driver charges from result shapes,
+    so the modeled cost is tier-independent.
     """
     counters = get_counters()
     counters.kernel_launches += 1
-    old_deg = np.diff(base.row_ptr)
-    old_src = np.repeat(np.arange(base.num_vertices, dtype=np.int64), old_deg)
-    old_comp = (old_src << np.int64(32)) | base.col_idx
-    if old_comp.size > 1 and not bool(np.all(old_comp[1:] > old_comp[:-1])):
-        # searchsorted pairs each touched key with one position, so a
-        # duplicated base key would silently survive a delete/upsert;
-        # fail loudly instead (backends export unique live sets — a
-        # duplicate means a broken export_coo).
-        raise ValidationError("merge base contains duplicate (src, dst) keys")
-    # Drop every touched key from the old stream: deletes disappear,
-    # upserted keys re-enter from the delta with their new weight.
-    touched = np.concatenate([upsert_comp, delete_comp])
-    keep = np.ones(old_comp.shape[0], dtype=bool)
-    if touched.size and old_comp.size:
-        loc = np.searchsorted(old_comp, touched)
-        safe = np.minimum(loc, old_comp.shape[0] - 1)
-        hit = (loc < old_comp.shape[0]) & (old_comp[safe] == touched)
-        keep[loc[hit]] = False
-    kept_comp = old_comp[keep]
-    total = kept_comp.shape[0] + upsert_comp.shape[0]
-    new_comp = np.empty(total, dtype=np.int64)
-    ins_at = np.searchsorted(kept_comp, upsert_comp) + np.arange(
-        upsert_comp.shape[0], dtype=np.int64
+    merged = get_kernels().merge_sorted_csr(
+        base.row_ptr,
+        base.col_idx,
+        base.weights,
+        upsert_comp,
+        upsert_weights,
+        delete_comp,
+        base.num_vertices,
     )
-    ins_mask = np.zeros(total, dtype=bool)
-    ins_mask[ins_at] = True
-    new_comp[ins_at] = upsert_comp
-    new_comp[~ins_mask] = kept_comp
-    weights = None
-    if base.weights is not None:
-        weights = np.empty(total, dtype=np.int64)
-        weights[ins_at] = (
-            upsert_weights
-            if upsert_weights is not None
-            else np.zeros(upsert_comp.shape[0], dtype=np.int64)
-        )
-        weights[~ins_mask] = base.weights[keep]
+    if merged is None:
+        # Backends export unique live sets — a duplicate composite key in
+        # the base means a broken export_coo; fail loudly instead of
+        # letting searchsorted pair it with a single position.
+        raise ValidationError("merge base contains duplicate (src, dst) keys")
+    row_ptr, col_idx, weights = merged
     width = 16 if base.weights is not None else 8
-    counters.bytes_copied += (int(old_comp.shape[0]) + total) * width
-    counts = np.bincount(new_comp >> np.int64(32), minlength=base.num_vertices)
-    row_ptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    counters.bytes_copied += (base.num_edges + int(col_idx.shape[0])) * width
     return CSRSnapshot(
         row_ptr=row_ptr,
-        col_idx=(new_comp & _MASK32).astype(np.int64),
+        col_idx=col_idx,
         weights=weights,
         num_vertices=base.num_vertices,
     )

@@ -72,6 +72,10 @@ TOLERANCE_OVERRIDES: dict[str, Tolerance] = {
     # only the modeled costs and their ratios carry the tight default band.
     "t13/*_wall": Tolerance(warn=1.0, fail=3.0),
     "t14/*_wall": Tolerance(warn=1.0, fail=3.0),
+    # t15's per-op timings are wall-clock too; its *_parity metrics are the
+    # tier-interchangeability proof and must never drift from 1.0.
+    "t15/*_wall_ms": Tolerance(warn=1.0, fail=3.0),
+    "t15/*_parity": Tolerance(warn=0.0, fail=0.0),
 }
 
 #: Units where a *smaller* current value is a regression.

@@ -227,6 +227,8 @@ def _git_sha() -> str:
 
 def environment_fingerprint(seed: int = 0, quick: bool = False) -> dict:
     """Provenance block: what produced a results file, and on what."""
+    from repro.kernels import kernel_tier
+
     return {
         "git_sha": _git_sha(),
         "python": platform.python_version(),
@@ -236,6 +238,9 @@ def environment_fingerprint(seed: int = 0, quick: bool = False) -> dict:
         "argv": list(sys.argv),
         "seed": int(seed),
         "quick": bool(quick),
+        # Wall-clock metrics are only comparable within a kernel tier;
+        # modeled counters are tier-independent by construction.
+        "kernel_tier": kernel_tier(),
     }
 
 

@@ -1,0 +1,375 @@
+"""The optional numba-jit kernel tier (compiled loop nests).
+
+Each public function mirrors a :mod:`repro.kernels.reference` kernel with
+the same signature, the same mutations, and bit-identical outputs; the
+inner loops are ``@numba.njit``-compiled single passes that fuse the
+gather, hit scan, empty-lane scan, rank-in-group lane claim, and scatter
+into one traversal of the pending items — no NumPy temporaries, no
+per-round boolean matrices.
+
+When numba is not installed the ``@njit`` decorator degrades to the
+identity, leaving plain-Python loop implementations: far too slow for real
+workloads but semantically identical, which is what lets the
+counter-parity tests exercise this tier's code paths in numba-less
+environments (``set_tier("jit", force=True)``).  Sorting-dominated kernels
+(:func:`sort_window_last`) are shared with the reference tier verbatim —
+NumPy's compiled sort is already the fast path there.
+
+Like the reference tier, nothing here touches :mod:`repro.gpusim`
+counters; drivers charge the device model from the returned quantities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.reference import (
+    STATUS_ADVANCE,
+    STATUS_DONE,
+    STATUS_HIT,
+    sort_window_last,
+)
+from repro.slabhash.constants import EMPTY_KEY, KEY_DTYPE, NULL_SLAB, TOMBSTONE_KEY
+
+try:  # pragma: no cover - exercised only when numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default offline environment
+
+    def njit(*args, **kwargs):
+        """Identity decorator: keep the Python fallback callable as-is."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+    NUMBA_AVAILABLE = False
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "TIER_NAME",
+    "delete_round",
+    "insert_round_map",
+    "insert_round_set",
+    "merge_sorted_csr",
+    "search_round_map",
+    "search_round_set",
+    "sort_window_last",
+    "walk_chains",
+]
+
+#: Dispatch name of this tier.
+TIER_NAME = "jit"
+
+_EMPTY32 = KEY_DTYPE(EMPTY_KEY)
+_TOMBSTONE32 = KEY_DTYPE(TOMBSTONE_KEY)
+_NULL = np.int64(NULL_SLAB)
+_MASK32 = np.int64(0xFFFFFFFF)
+_STATUS_HIT = np.uint8(STATUS_HIT)
+_STATUS_DONE = np.uint8(STATUS_DONE)
+_STATUS_ADVANCE = np.uint8(STATUS_ADVANCE)
+
+
+@njit(cache=True)
+def _insert_round_map(pool_keys, pool_values, cur, k, v, status):
+    bc = pool_keys.shape[1]
+    m = cur.shape[0]
+    empty_lanes = np.empty(bc, dtype=np.int64)
+    i = 0
+    while i < m:
+        slab = cur[i]
+        j = i
+        while j < m and cur[j] == slab:
+            j += 1
+        # Scan the slab once at group entry: pre-round empty lanes in
+        # ascending order (the rank-th unplaced item takes the rank-th).
+        n_empty = 0
+        for lane in range(bc):
+            if pool_keys[slab, lane] == _EMPTY32:
+                empty_lanes[n_empty] = lane
+                n_empty += 1
+        used = 0
+        for t in range(i, j):
+            key = k[t]
+            hit_lane = -1
+            for lane in range(bc):
+                if pool_keys[slab, lane] == key:
+                    hit_lane = lane
+                    break
+            if hit_lane >= 0:
+                pool_values[slab, hit_lane] = v[t]
+                status[t] = _STATUS_HIT
+            elif used < n_empty:
+                lane = empty_lanes[used]
+                used += 1
+                pool_keys[slab, lane] = key
+                pool_values[slab, lane] = v[t]
+                status[t] = _STATUS_DONE
+            else:
+                status[t] = _STATUS_ADVANCE
+        i = j
+
+
+@njit(cache=True)
+def _insert_round_set(pool_keys, cur, k, status):
+    bc = pool_keys.shape[1]
+    m = cur.shape[0]
+    empty_lanes = np.empty(bc, dtype=np.int64)
+    i = 0
+    while i < m:
+        slab = cur[i]
+        j = i
+        while j < m and cur[j] == slab:
+            j += 1
+        n_empty = 0
+        for lane in range(bc):
+            if pool_keys[slab, lane] == _EMPTY32:
+                empty_lanes[n_empty] = lane
+                n_empty += 1
+        used = 0
+        for t in range(i, j):
+            key = k[t]
+            hit_lane = -1
+            for lane in range(bc):
+                if pool_keys[slab, lane] == key:
+                    hit_lane = lane
+                    break
+            if hit_lane >= 0:
+                status[t] = _STATUS_HIT
+            elif used < n_empty:
+                pool_keys[slab, empty_lanes[used]] = key
+                used += 1
+                status[t] = _STATUS_DONE
+            else:
+                status[t] = _STATUS_ADVANCE
+        i = j
+
+
+def insert_round_map(pool_keys, pool_values, cur, k, v):
+    """One insert round (map variant); see the reference tier's contract."""
+    status = np.empty(cur.shape[0], dtype=np.uint8)
+    _insert_round_map(pool_keys, pool_values, cur, k, v, status)
+    return status
+
+
+def insert_round_set(pool_keys, cur, k):
+    """One insert round (set variant); see the reference tier's contract."""
+    status = np.empty(cur.shape[0], dtype=np.uint8)
+    _insert_round_set(pool_keys, cur, k, status)
+    return status
+
+
+@njit(cache=True)
+def _search_round(pool_keys, cur, k, status, hit_lanes):
+    bc = pool_keys.shape[1]
+    for t in range(cur.shape[0]):
+        slab = cur[t]
+        key = k[t]
+        hit_lane = -1
+        has_empty = False
+        for lane in range(bc):
+            kk = pool_keys[slab, lane]
+            if kk == key:
+                hit_lane = lane
+                break
+            if kk == _EMPTY32:
+                has_empty = True
+        if hit_lane >= 0:
+            status[t] = _STATUS_HIT
+            hit_lanes[t] = hit_lane
+        elif has_empty:
+            status[t] = _STATUS_DONE
+        else:
+            status[t] = _STATUS_ADVANCE
+
+
+def search_round_map(pool_keys, pool_values, cur, k):
+    """One search round (map variant); returns ``(status, values)``."""
+    m = cur.shape[0]
+    status = np.empty(m, dtype=np.uint8)
+    hit_lanes = np.full(m, -1, dtype=np.int64)
+    _search_round(pool_keys, cur, k, status, hit_lanes)
+    vals = np.zeros(m, dtype=np.int64)
+    got = hit_lanes >= 0
+    vals[got] = pool_values[cur[got], hit_lanes[got]]
+    return status, vals
+
+
+def search_round_set(pool_keys, cur, k):
+    """One search round (set variant); returns the status array only."""
+    m = cur.shape[0]
+    status = np.empty(m, dtype=np.uint8)
+    hit_lanes = np.full(m, -1, dtype=np.int64)
+    _search_round(pool_keys, cur, k, status, hit_lanes)
+    return status
+
+
+@njit(cache=True)
+def _delete_round(pool_keys, cur, k, status):
+    bc = pool_keys.shape[1]
+    for t in range(cur.shape[0]):
+        slab = cur[t]
+        key = k[t]
+        hit_lane = -1
+        has_empty = False
+        for lane in range(bc):
+            kk = pool_keys[slab, lane]
+            if kk == key:
+                hit_lane = lane
+                break
+            if kk == _EMPTY32:
+                has_empty = True
+        if hit_lane >= 0:
+            pool_keys[slab, hit_lane] = _TOMBSTONE32
+            status[t] = _STATUS_HIT
+        elif has_empty:
+            status[t] = _STATUS_DONE
+        else:
+            status[t] = _STATUS_ADVANCE
+
+
+def delete_round(pool_keys, cur, k):
+    """One tombstone-delete round; mutates hit lanes, returns statuses."""
+    status = np.empty(cur.shape[0], dtype=np.uint8)
+    _delete_round(pool_keys, cur, k, status)
+    return status
+
+
+@njit(cache=True)
+def _chain_lengths(next_slab, heads, lengths):
+    total = np.int64(0)
+    max_len = np.int64(0)
+    for i in range(heads.shape[0]):
+        length = np.int64(1)
+        slab = heads[i]
+        while next_slab[slab] != _NULL:
+            slab = next_slab[slab]
+            length += 1
+        lengths[i] = length
+        total += length
+        if length > max_len:
+            max_len = length
+    return total, max_len
+
+
+@njit(cache=True)
+def _fill_level_order(next_slab, heads, lengths, max_len, slabs, head_idx, is_base):
+    n = heads.shape[0]
+    # offsets[d] = start of depth-d block in level-major output order.
+    offsets = np.zeros(max_len + 1, dtype=np.int64)
+    for i in range(n):
+        for d in range(lengths[i]):
+            offsets[d + 1] += 1
+    for d in range(max_len):
+        offsets[d + 1] += offsets[d]
+    fill = offsets[:max_len].copy()
+    for i in range(n):
+        slab = heads[i]
+        for d in range(lengths[i]):
+            pos = fill[d]
+            fill[d] += 1
+            slabs[pos] = slab
+            head_idx[pos] = i
+            is_base[pos] = d == 0
+            slab = next_slab[slab]
+
+
+def walk_chains(next_slab, heads):
+    """Level-order chain walk; same contract as the reference tier.
+
+    Two compiled passes: measure every chain, then scatter slabs into
+    level-major order (heads first, each depth block in surviving-head
+    order — exactly the frontier order of the reference walk).
+    """
+    n = heads.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0, dtype=bool), 0, 0
+    lengths = np.empty(n, dtype=np.int64)
+    total, max_len = _chain_lengths(next_slab, heads, lengths)
+    slabs = np.empty(total, dtype=np.int64)
+    head_idx = np.empty(total, dtype=np.int64)
+    is_base = np.empty(total, dtype=bool)
+    _fill_level_order(next_slab, heads, lengths, max_len, slabs, head_idx, is_base)
+    # The reference walk gathers one next pointer per frontier slab per
+    # level: levels = deepest chain, reads = every slab reached.
+    return slabs, head_idx, is_base, int(max_len), int(total)
+
+
+@njit(cache=True)
+def _merge_stream(row_ptr, col_idx, weights, has_w, ups, upw, dels, out_comp, out_w):
+    num_vertices = row_ptr.shape[0] - 1
+    n_ups = ups.shape[0]
+    n_dels = dels.shape[0]
+    ui = 0
+    di = 0
+    out = 0
+    prev = np.int64(-1)
+    for v in range(num_vertices):
+        for e in range(row_ptr[v], row_ptr[v + 1]):
+            comp_o = (np.int64(v) << np.int64(32)) | col_idx[e]
+            if comp_o <= prev:
+                return np.int64(-1)  # duplicated base key (broken export)
+            prev = comp_o
+            # Emit every upsert strictly below the old key first.
+            while ui < n_ups and ups[ui] < comp_o:
+                out_comp[out] = ups[ui]
+                if has_w:
+                    out_w[out] = upw[ui]
+                out += 1
+                ui += 1
+            while di < n_dels and dels[di] < comp_o:
+                di += 1
+            if ui < n_ups and ups[ui] == comp_o:
+                out_comp[out] = ups[ui]  # replace: new weight wins
+                if has_w:
+                    out_w[out] = upw[ui]
+                out += 1
+                ui += 1
+            elif di < n_dels and dels[di] == comp_o:
+                di += 1  # delete: old key dropped
+            else:
+                out_comp[out] = comp_o
+                if has_w:
+                    out_w[out] = weights[e]
+                out += 1
+    while ui < n_ups:
+        out_comp[out] = ups[ui]
+        if has_w:
+            out_w[out] = upw[ui]
+        out += 1
+        ui += 1
+    return out
+
+
+def merge_sorted_csr(
+    row_ptr, col_idx, weights, upsert_comp, upsert_weights, delete_comp, num_vertices
+):
+    """Stream-merge a sorted delta into a sorted CSR (compiled single pass).
+
+    Same contract as the reference tier: returns the merged
+    ``(row_ptr, col_idx, weights)`` or ``None`` on a duplicated base key.
+    """
+    num_edges = col_idx.shape[0]
+    n_ups = upsert_comp.shape[0]
+    has_w = weights is not None
+    w_in = weights if has_w else np.empty(0, dtype=np.int64)
+    upw = upsert_weights
+    if upw is None:
+        upw = np.zeros(n_ups, dtype=np.int64) if has_w else np.empty(0, dtype=np.int64)
+    out_comp = np.empty(num_edges + n_ups, dtype=np.int64)
+    out_w = np.empty(num_edges + n_ups if has_w else 0, dtype=np.int64)
+    count = _merge_stream(
+        row_ptr, col_idx, w_in, has_w, upsert_comp, upw, delete_comp, out_comp, out_w
+    )
+    if count < 0:
+        return None
+    comp = out_comp[: int(count)]
+    counts = np.bincount(comp >> np.int64(32), minlength=num_vertices)
+    new_row_ptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    new_weights = out_w[: int(count)].copy() if has_w else None
+    return new_row_ptr, (comp & _MASK32).astype(np.int64), new_weights

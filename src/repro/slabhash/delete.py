@@ -1,11 +1,14 @@
-"""Batched tombstone-delete kernel.
+"""Batched tombstone-delete kernel driver.
 
 The vectorized counterpart of the slab-hash ``delete`` operation
 (Section IV-C2): walk the bucket chain; when the key is found its lane is
 overwritten with ``TOMBSTONE_KEY`` (the slot is *not* reclaimed, so later
 inserts keep appending at chain tails); when a slab containing an empty
 lane is reached without a match, the key is provably absent (empties exist
-only at chain tails) and the walk stops.
+only at chain tails) and the walk stops.  The per-round probe-and-tombstone
+pass is dispatched through :mod:`repro.kernels`; this driver owns
+scheduling and device-model charging so every kernel tier prices
+identically.
 
 The returned mask reports, per item, whether the key actually existed —
 the boolean the paper uses to keep exact per-vertex edge counts.
@@ -18,7 +21,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpusim.counters import get_counters
-from repro.slabhash.constants import EMPTY_KEY, KEY_DTYPE, NULL_SLAB, TOMBSTONE_KEY
+from repro.kernels import get_kernels
+from repro.kernels.reference import STATUS_ADVANCE, STATUS_HIT
+from repro.slabhash.constants import KEY_DTYPE, NULL_SLAB
 from repro.util.groupby import first_occurrence_mask
 from repro.util.validation import as_int_array, check_equal_length, check_in_range
 
@@ -37,6 +42,7 @@ def delete_batch(arena, table_ids, keys) -> np.ndarray:
     counters = get_counters()
     counters.kernel_launches += 1
     pool = arena.pool
+    kern = get_kernels()
 
     composite = (table_ids.astype(np.int64) << 32) | keys.astype(np.int64)
     keep = first_occurrence_mask(composite)
@@ -59,26 +65,16 @@ def delete_batch(arena, table_ids, keys) -> np.ndarray:
     while pending.size:
         counters.probe_rounds += 1
         cur_p = cur[pending]
-        rows = pool.keys[cur_p]
+        status = kern.delete_round(pool.keys, cur_p, k[pending])
         counters.slab_reads += int(pending.size)
 
-        hit = rows == k[pending][:, None]
-        hit_any = hit.any(axis=1)
-        if hit_any.any():
-            found = np.flatnonzero(hit_any)
-            lanes = hit[found].argmax(axis=1)
-            pool.keys[cur_p[found], lanes] = KEY_DTYPE(TOMBSTONE_KEY)
+        found = np.flatnonzero(status == STATUS_HIT)
+        if found.size:
             counters.slab_writes += int(found.size)
             removed[live_idx[pending[found]]] = True
 
-        rest = np.flatnonzero(~hit_any)
-        if rest.size == 0:
-            break
-        # A slab with an empty lane terminates the chain's data region: the
-        # key is absent.  Scan the unresolved remainder only, sliced from
-        # this round's gathered rows.
-        has_empty = (rows[rest] == KEY_DTYPE(EMPTY_KEY)).any(axis=1)
-        cont = rest[~has_empty]
+        # STATUS_DONE items hit an empty lane: provably absent, walk over.
+        cont = np.flatnonzero(status == STATUS_ADVANCE)
         if cont.size == 0:
             break
         nxt = pool.next_slab[cur_p[cont]]

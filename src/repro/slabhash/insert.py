@@ -1,21 +1,33 @@
-"""Batched insert-with-replace kernel.
+"""Batched insert-with-replace kernel driver.
 
 This is the vectorized counterpart of the paper's slab-hash ``replace``
-operation as scheduled by Algorithm 1.  One *probe round* of the kernel
-corresponds to one warp-synchronous chain step on the device: every pending
-item gathers its current slab, checks for its key, and either
+operation as scheduled by Algorithm 1.  One *probe round* corresponds to
+one warp-synchronous chain step on the device: every pending item gathers
+its current slab, checks for its key, and either
 
 1. **replaces** — the key already exists; the value lane is overwritten and
    the item reports "not newly added" (uniqueness is preserved, the most
    recent weight wins);
-2. **claims an empty lane** — items targeting the same slab are grouped
-   (sort + rank-in-group, the vectorized analogue of the intra-warp
-   coalesced group) and the ``r``-th item of a group takes the ``r``-th
-   empty lane;
+2. **claims an empty lane** — items targeting the same slab cooperate (the
+   vectorized analogue of the intra-warp coalesced group) and the ``r``-th
+   unplaced item of a group takes the ``r``-th empty lane;
 3. **advances** — no key match and not enough empty lanes: the group's first
    unplaced item allocates and links a new tail slab if needed (one
    simulated atomic CAS per chain extension), and the leftovers move to the
    next slab.
+
+The per-round work is dispatched through :mod:`repro.kernels` (reference
+NumPy tier or the optional jit tier); this driver owns scheduling, chain
+extension, and all device-model charging, so both tiers charge the
+:mod:`repro.gpusim` counters identically.
+
+Group ordering is **hoisted out of the round loop**: one stable sort by
+head slab up front, and group contiguity is maintained for free across
+rounds — every member of a group advances to the same next slab, chains
+from different buckets never share slabs (groups can shrink but never
+merge or split), and mask-filtering preserves order.  The pre-refactor
+per-round re-sort is kept behind ``_resort_every_round`` for the
+equivalence regression test and the kernel bench.
 
 Intra-batch duplicates of the same (table, key) are resolved *before* the
 walk by keeping the last occurrence — the serialization the paper specifies
@@ -32,6 +44,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpusim.counters import get_counters
+from repro.kernels import get_kernels
+from repro.kernels.reference import STATUS_ADVANCE, STATUS_DONE, STATUS_HIT
 from repro.slabhash.constants import (
     EMPTY_KEY,
     KEY_DTYPE,
@@ -40,10 +54,13 @@ from repro.slabhash.constants import (
     VALUE_DTYPE,
 )
 from repro.util.errors import ValidationError
-from repro.util.groupby import last_occurrence_mask, rank_within_group
+from repro.util.groupby import last_occurrence_mask
 from repro.util.validation import as_int_array, check_equal_length, check_in_range
 
 __all__ = ["insert_batch"]
+
+# Re-exported for the empty-lane invariant tests (pre-refactor surface).
+_ = EMPTY_KEY
 
 
 def _composite(table_ids: np.ndarray, keys: np.ndarray) -> np.ndarray:
@@ -51,7 +68,7 @@ def _composite(table_ids: np.ndarray, keys: np.ndarray) -> np.ndarray:
     return (table_ids.astype(np.int64) << 32) | keys.astype(np.int64)
 
 
-def insert_batch(arena, table_ids, keys, values=None) -> np.ndarray:
+def insert_batch(arena, table_ids, keys, values=None, _resort_every_round=False) -> np.ndarray:
     """Insert (table, key[, value]) items; return per-item "newly added".
 
     Parameters
@@ -61,6 +78,11 @@ def insert_batch(arena, table_ids, keys, values=None) -> np.ndarray:
     table_ids, keys, values:
         Parallel arrays.  ``values`` is required for weighted (map) arenas
         and ignored for set arenas.
+    _resort_every_round:
+        Re-sort the pending set by slab id each round (the pre-refactor
+        schedule).  Bit-identical results and counters — maintained group
+        contiguity makes the re-sort a no-op permutation of groups — kept
+        only so tests and the kernel bench can prove/price exactly that.
 
     Returns
     -------
@@ -89,6 +111,7 @@ def insert_batch(arena, table_ids, keys, values=None) -> np.ndarray:
     counters.kernel_launches += 1
     pool = arena.pool
     weighted = pool.weighted
+    kern = get_kernels()
 
     # Intra-batch replace semantics: keep the last occurrence per (table, key).
     keep = last_occurrence_mask(_composite(table_ids, keys))
@@ -100,61 +123,35 @@ def insert_batch(arena, table_ids, keys, values=None) -> np.ndarray:
 
     cur = arena.bucket_heads(t, keys_live)
     added = np.zeros(n, dtype=bool)
-    pending = np.arange(live_idx.shape[0], dtype=np.int64)
+
+    # One stable sort for the whole walk (hoisted out of the round loop):
+    # items sharing a slab stay contiguous across rounds because a group
+    # advances to one shared next slab and groups never merge.
+    pending = np.argsort(cur, kind="stable")
 
     while pending.size:
+        if _resort_every_round:
+            pending = pending[np.argsort(cur[pending], kind="stable")]
         counters.probe_rounds += 1
         cur_p = cur[pending]
-        rows = pool.keys[cur_p]  # (m, Bc) gather = m slab reads
+        if weighted:
+            status = kern.insert_round_map(pool.keys, pool.values, cur_p, k[pending], v[pending])
+        else:
+            status = kern.insert_round_set(pool.keys, cur_p, k[pending])
         counters.slab_reads += int(pending.size)
 
-        hit = rows == k[pending][:, None]
-        hit_any = hit.any(axis=1)
+        placed = pending[status == STATUS_DONE]
+        writes = int(placed.size)
+        if weighted:
+            writes += int(np.count_nonzero(status == STATUS_HIT))
+        counters.slab_writes += writes
+        if placed.size:
+            added[live_idx[placed]] = True
 
-        # (1) replace existing keys (value update only; not "added").
-        if hit_any.any():
-            repl = np.flatnonzero(hit_any)
-            if weighted:
-                lanes = hit[repl].argmax(axis=1)
-                pool.values[cur_p[repl], lanes] = v[pending[repl]]
-                counters.slab_writes += int(repl.size)
-
-        rest = np.flatnonzero(~hit_any)
-        if rest.size == 0:
-            break
-        # One stable sort per round, over the not-yet-placed remainder only
-        # (placed/replaced items never re-enter the sort).
-        rest_slabs = cur_p[rest]
-        order = np.argsort(rest_slabs, kind="stable")
-        rest = rest[order]
-        rest_slabs = rest_slabs[order]
-        rank = rank_within_group(rest_slabs)
-
-        # Reuse this round's gathered rows for the empty-lane scan instead
-        # of re-reading the pool.
-        empty = rows[rest] == KEY_DTYPE(EMPTY_KEY)  # (r, Bc)
-        n_empty = empty.sum(axis=1)
-        fits = rank < n_empty
-
-        # (2) claim the rank-th empty lane of the shared slab.  The cumsum
-        # lane selection runs only over the rows that actually fit.
-        if fits.any():
-            empty_f = empty[fits]
-            csum = np.cumsum(empty_f, axis=1)
-            lane_match = empty_f & (csum == (rank[fits] + 1)[:, None])
-            lanes = lane_match.argmax(axis=1)
-            fit_rows = rest[fits]
-            fit_slabs = rest_slabs[fits]
-            pool.keys[fit_slabs, lanes] = k[pending[fit_rows]]
-            if weighted:
-                pool.values[fit_slabs, lanes] = v[pending[fit_rows]]
-            counters.slab_writes += int(fit_rows.size)
-            added[live_idx[pending[fit_rows]]] = True
-
-        # (3) advance overflow items, extending chains where necessary.
-        over = rest[~fits]
+        # Advance overflow items, extending chains where necessary.
+        over = pending[status == STATUS_ADVANCE]
         if over.size:
-            over_slabs = rest_slabs[~fits]
+            over_slabs = cur[over]
             nxt = pool.next_slab[over_slabs]
             need = nxt == NULL_SLAB
             if need.any():
@@ -165,7 +162,7 @@ def insert_batch(arena, table_ids, keys, values=None) -> np.ndarray:
                 # tails is sorted, so each needing item finds its freshly
                 # linked slab by position — no second next_slab gather.
                 nxt[need] = new_ids[np.searchsorted(tails, over_slabs[need])]
-            cur[pending[over]] = nxt
-        pending = pending[over] if over.size else pending[:0]
+            cur[over] = nxt
+        pending = over
 
     return added

@@ -4,7 +4,9 @@
 list iterator* (Section IV-B): it walks every bucket chain of every
 requested table one slab-level at a time, so a table whose chains have
 length L costs exactly L gather rounds — the same traffic the warp
-iterator generates on the device.
+iterator generates on the device.  The walk itself is dispatched through
+:mod:`repro.kernels` (``walk_chains``); this driver charges the device
+model from the tier-independent level/read totals the kernel reports.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpusim.counters import get_counters
+from repro.kernels import get_kernels
 from repro.slabhash.constants import EMPTY_KEY, KEY_DTYPE, NULL_SLAB, TOMBSTONE_KEY
 from repro.util.validation import as_int_array, check_in_range
 
@@ -49,27 +52,12 @@ def collect_table_slabs(arena, table_ids):
     head_slabs = starts + within
 
     counters = get_counters()
-    all_slabs = [head_slabs]
-    all_owners = [owner0]
-    all_base = [np.ones(head_slabs.shape[0], dtype=bool)]
-    frontier = head_slabs
-    owners = owner0
-    while frontier.size:
-        counters.probe_rounds += 1
-        nxt = arena.pool.next_slab[frontier]
-        counters.slab_reads += int(frontier.size)
-        alive = nxt != NULL_SLAB
-        frontier = nxt[alive]
-        owners = owners[alive]
-        if frontier.size:
-            all_slabs.append(frontier)
-            all_owners.append(owners)
-            all_base.append(np.zeros(frontier.shape[0], dtype=bool))
-    return (
-        np.concatenate(all_slabs),
-        np.concatenate(all_owners),
-        np.concatenate(all_base),
+    slabs, head_idx, is_base, levels, reads = get_kernels().walk_chains(
+        arena.pool.next_slab, head_slabs
     )
+    counters.probe_rounds += int(levels)
+    counters.slab_reads += int(reads)
+    return slabs, owner0[head_idx], is_base
 
 
 def _ragged_arange(lengths: np.ndarray) -> np.ndarray:

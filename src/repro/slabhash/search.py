@@ -1,8 +1,10 @@
-"""Batched search / membership kernel.
+"""Batched search / membership kernel driver.
 
 The read-only chain walk behind ``edgeExist`` (Section IV-B): identical
 traversal to :mod:`repro.slabhash.delete` but without mutation.  Returns a
-found mask and, for map arenas, the stored values.
+found mask and, for map arenas, the stored values.  The per-round probe is
+dispatched through :mod:`repro.kernels`; this driver owns scheduling and
+device-model charging so every kernel tier prices identically.
 
 Unlike insert/delete, the batch is *not* deduplicated: queries are
 idempotent and callers (e.g. triangle counting) legitimately probe the same
@@ -14,7 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpusim.counters import get_counters
-from repro.slabhash.constants import EMPTY_KEY, KEY_DTYPE, NULL_SLAB
+from repro.kernels import get_kernels
+from repro.kernels.reference import STATUS_ADVANCE, STATUS_HIT
+from repro.slabhash.constants import KEY_DTYPE, NULL_SLAB
 from repro.util.validation import as_int_array, check_equal_length, check_in_range
 
 __all__ = ["search_batch"]
@@ -37,8 +41,10 @@ def search_batch(arena, table_ids, keys) -> tuple[np.ndarray, np.ndarray]:
     counters = get_counters()
     counters.kernel_launches += 1
     pool = arena.pool
+    kern = get_kernels()
     k = keys.astype(KEY_DTYPE)
 
+    # Items aimed at never-created tables trivially miss.
     exists = arena.table_base[table_ids] != NULL_SLAB
     active = np.flatnonzero(exists)
     if active.size == 0:
@@ -50,25 +56,21 @@ def search_batch(arena, table_ids, keys) -> tuple[np.ndarray, np.ndarray]:
     while pending.size:
         counters.probe_rounds += 1
         cur_p = cur[pending]
-        rows = pool.keys[cur_p]
+        if pool.weighted:
+            status, vals = kern.search_round_map(pool.keys, pool.values, cur_p, k[pending])
+        else:
+            status = kern.search_round_set(pool.keys, cur_p, k[pending])
+            vals = None
         counters.slab_reads += int(pending.size)
 
-        hit = rows == k[pending][:, None]
-        hit_any = hit.any(axis=1)
-        if hit_any.any():
-            got = np.flatnonzero(hit_any)
+        got = np.flatnonzero(status == STATUS_HIT)
+        if got.size:
             found[pending[got]] = True
-            if pool.weighted:
-                lanes = hit[got].argmax(axis=1)
-                values[pending[got]] = pool.values[cur_p[got], lanes]
+            if vals is not None:
+                values[pending[got]] = vals[got]
 
-        rest = np.flatnonzero(~hit_any)
-        if rest.size == 0:
-            break
-        # Empty-lane scan over the unresolved remainder only, sliced from
-        # this round's gathered rows.
-        has_empty = (rows[rest] == KEY_DTYPE(EMPTY_KEY)).any(axis=1)
-        cont = rest[~has_empty]
+        # STATUS_DONE items hit an empty lane: provably absent, walk over.
+        cont = np.flatnonzero(status == STATUS_ADVANCE)
         if cont.size == 0:
             break
         nxt = pool.next_slab[cur_p[cont]]
